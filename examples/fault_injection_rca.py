@@ -1,0 +1,44 @@
+"""Case study §5.1: diagnosing an injected network fault (Table 3).
+
+A 10% packet-drop rule is 'installed' on every datanode of a simulated
+cluster for a few minutes.  A global search over all metric-name families
+should surface, in order: the (expected) runtime/latency effect families,
+then the TCP retransmission counters — the smoking gun that pointed the
+paper's operators to the network.
+
+Run:  python examples/fault_injection_rca.py
+"""
+
+from repro.workloads.scenarios import fault_injection_scenario
+
+
+def main() -> None:
+    scenario = fault_injection_scenario(seed=0)
+    print(f"Scenario: {scenario.description}")
+    print(f"Ground-truth cause families:  {sorted(scenario.causes)}")
+    print(f"Ground-truth effect families: {sorted(scenario.effects)}")
+
+    session = scenario.session()
+    start, end = scenario.fault_window
+    session.set_time_ranges(0, 288, explain_start=start, explain_end=end)
+
+    print("\n--- global search across all metric families (CorrMax) ---")
+    table = session.explain(scorer="CorrMax")
+    print(table.render(10))
+
+    print("\nHow anomalous is each top family inside the fault window?")
+    for row in table.top(6):
+        lift = session.event_lift(row.family)
+        label = ("CAUSE " if row.family in scenario.causes else
+                 "effect" if row.family in scenario.effects else "      ")
+        print(f"  [{label}] {row.family:<24} score={row.score:.3f} "
+              f"event-lift={lift:.1f}σ")
+
+    retrans_rank = table.rank_of("tcp_retransmits")
+    print(f"\nTCP retransmit counters ranked #{retrans_rank} "
+          f"(paper: rank 4) — high retransmissions across all nodes "
+          f"point to a network-level fault.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Case study §5.3: the periodic namenode slowdown (Table 4 / Figure 7).
+
+Every ~15 minutes the pipeline runtime spikes for ~5 minutes even at low
+load.  The global search points at the namenode family; drilling in shows
+RPC latency and live threads *positively* correlated with runtime but GC
+time *negatively* correlated — ruling out garbage collection and leading
+to the real culprit: a service scanning the filesystem on a 15-minute
+timer.
+
+Run:  python examples/periodic_slowdown_rca.py
+"""
+
+import numpy as np
+
+from repro.core.pseudocause import estimate_period
+from repro.tsdb import SeriesId
+from repro.workloads.scenarios import (
+    periodic_namenode_scenario,
+    periodic_namenode_scenario_fixed,
+)
+
+
+def main() -> None:
+    scenario = periodic_namenode_scenario(seed=0)
+    print(f"Scenario: {scenario.description}")
+
+    _, runtime = scenario.store.arrays(SeriesId.make(
+        "pipeline_runtime", {"pipeline_name": "pipeline-1"}))
+    period = estimate_period(runtime - runtime.mean(),
+                             max_period=60, min_period=5)
+    print(f"\nVisual inspection (ACF): runtime spikes repeat every "
+          f"~{period} samples (truth: every 15).")
+
+    session = scenario.session()
+    print("\n--- global search (CorrMax) ---")
+    table = session.explain(scorer="CorrMax")
+    print(table.render(10))
+
+    print("\n--- drill-down: namenode metrics vs runtime ---")
+    _, gc_time = scenario.store.arrays(SeriesId.make(
+        "namenode_gc_time", {"host": "namenode-1"}))
+    _, rpc_latency = scenario.store.arrays(SeriesId.make(
+        "namenode_rpc_latency", {"host": "namenode-1"}))
+    _, threads = scenario.store.arrays(SeriesId.make(
+        "namenode_live_threads", {"host": "namenode-1"}))
+    print(f"  corr(runtime, rpc_latency)  = "
+          f"{np.corrcoef(runtime, rpc_latency)[0, 1]:+.2f}  (positive)")
+    print(f"  corr(runtime, live_threads) = "
+          f"{np.corrcoef(runtime, threads)[0, 1]:+.2f}  (positive)")
+    print(f"  corr(runtime, gc_time)      = "
+          f"{np.corrcoef(runtime, gc_time)[0, 1]:+.2f}  (NEGATIVE)")
+    print("\nGC is ruled out (less GC during spikes); high thread counts "
+          "mean a high RPC request rate — some service is hammering the "
+          "namenode on a 15-minute timer (GetContentSummary).")
+
+    print("\n--- after the fix ---")
+    fixed = periodic_namenode_scenario_fixed(seed=0)
+    _, fixed_runtime = fixed.store.arrays(SeriesId.make(
+        "pipeline_runtime", {"pipeline_name": "pipeline-1"}))
+    spikes_before = int((runtime > runtime.mean()
+                         + 3 * fixed_runtime.std()).sum())
+    spikes_after = int((fixed_runtime > fixed_runtime.mean()
+                        + 3 * fixed_runtime.std()).sum())
+    print(f"spike samples before fix: {spikes_before}; after: "
+          f"{spikes_after} (Figure 7's before/after).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Case study §5.4: weekly spikes and the RAID consistency check.
+
+Occasionally all pipelines run slow with no change in input.  Only a
+month-long time range reveals the regularity: spikes with a period of one
+week lasting ~4 hours — the RAID controller's scheduled consistency
+check.  The controlled experiment (Figure 9) toggles the check's
+bandwidth cap and watches the runtime respond.
+
+Run:  python examples/weekly_raid_rca.py
+"""
+
+import numpy as np
+
+from repro.core.pseudocause import estimate_period
+from repro.tsdb import SeriesId
+from repro.workloads.scenarios import (
+    raid_intervention_experiment,
+    weekly_raid_scenario,
+)
+
+
+def main() -> None:
+    scenario = weekly_raid_scenario(seed=0)
+    print(f"Scenario: {scenario.description}")
+
+    print("\n--- global search over a month of data (CorrMax) ---")
+    session = scenario.session()
+    table = session.explain(scorer="CorrMax")
+    print(table.render(10))
+    print("\nDisk IO / latency and load-average families rank high "
+          "(Table 5's ranks 3-4); the RAID temperature sensor "
+          f"ranks #{table.rank_of('raid_temperature')} (paper: rank 7).")
+
+    _, runtime = scenario.store.arrays(SeriesId.make(
+        "pipeline_runtime", {"pipeline_name": "pipeline-1"}))
+    spikes = (runtime > runtime.mean() + 1.5 * runtime.std()).astype(float)
+    period = estimate_period(spikes - spikes.mean(),
+                             max_period=scenario.extra["period"] + 30,
+                             min_period=scenario.extra["period"] // 2 + 1)
+    print(f"\nSpike-indicator periodicity: every ~{period} samples "
+          f"(truth: {scenario.extra['period']} = one week).  168 hours — "
+          f"the RAID patrol-read schedule!")
+
+    print("\n--- Figure 9: the controlled intervention ---")
+    experiment = raid_intervention_experiment(seed=0)
+    _, runtime = experiment.store.arrays(SeriesId.make(
+        "pipeline_runtime", {"pipeline_name": "pipeline-1"}))
+    quarter = experiment.extra["segments"]
+    labels = ["20% cap (default)", "check disabled", "20% cap again",
+              "5% cap (the fix)"]
+    for i, label in enumerate(labels):
+        segment = runtime[i * quarter:(i + 1) * quarter]
+        print(f"  {label:<20} mean runtime {segment.mean():6.1f}  "
+              f"p95 {np.percentile(segment, 95):6.1f}")
+    print("\nRuntime instability tracks the knob: hypothesis confirmed, "
+          "fix (5% cap) shipped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+"""Causal DAG with d-separation queries.
+
+The three canonical structures of §3.1 — chain ``Z -> Y -> X``, fork
+``Y <- Z -> X``, collider ``Y -> Z <- X`` — and their conditional
+(in)dependence implications are all decided by d-separation, implemented
+here on top of networkx's digraph machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+
+class DagError(Exception):
+    """Raised for cycles or unknown variables."""
+
+
+class CausalDag:
+    """A directed acyclic graph over named variables."""
+
+    def __init__(self, edges: Iterable[tuple[str, str]] = (),
+                 nodes: Iterable[str] = ()) -> None:
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(nodes)
+        self._graph.add_edges_from(edges)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            cycle = nx.find_cycle(self._graph)
+            raise DagError(f"graph contains a cycle: {cycle}")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def add_edge(self, cause: str, effect: str) -> None:
+        """Add ``cause -> effect``, rejecting edges that create a cycle."""
+        self._graph.add_edge(cause, effect)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(cause, effect)
+            raise DagError(f"edge {cause} -> {effect} would create a cycle")
+
+    def nodes(self) -> list[str]:
+        """All variables in insertion order."""
+        return list(self._graph.nodes)
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All directed edges."""
+        return list(self._graph.edges)
+
+    def parents(self, node: str) -> list[str]:
+        """Direct causes of a variable."""
+        self._check(node)
+        return sorted(self._graph.predecessors(node))
+
+    def children(self, node: str) -> list[str]:
+        """Direct effects of a variable."""
+        self._check(node)
+        return sorted(self._graph.successors(node))
+
+    def ancestors(self, node: str) -> set[str]:
+        """All (transitive) causes — the root-cause search space for a target."""
+        self._check(node)
+        return set(nx.ancestors(self._graph, node))
+
+    def descendants(self, node: str) -> set[str]:
+        """All (transitive) effects."""
+        self._check(node)
+        return set(nx.descendants(self._graph, node))
+
+    def topological_order(self) -> list[str]:
+        """A topological ordering (stable for equal ranks)."""
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def _check(self, node: str) -> None:
+        if node not in self._graph:
+            raise DagError(f"unknown variable {node!r}")
+
+    # ------------------------------------------------------------------
+    # d-separation
+    # ------------------------------------------------------------------
+    def d_separated(self, x: Iterable[str] | str, y: Iterable[str] | str,
+                    given: Iterable[str] = ()) -> bool:
+        """True when every path between x and y is blocked by ``given``.
+
+        Under the causal Markov and faithfulness assumptions (§3.1),
+        d-separation in the graph is equivalent to conditional
+        independence in the data.
+        """
+        xs = {x} if isinstance(x, str) else set(x)
+        ys = {y} if isinstance(y, str) else set(y)
+        zs = set(given)
+        for node in xs | ys | zs:
+            self._check(node)
+        if xs & ys:
+            return False
+        return nx.is_d_separator(self._graph, xs, ys, zs)
+
+    def implied_independencies(self, max_conditioning: int = 1
+                               ) -> list[tuple[str, str, tuple[str, ...]]]:
+        """Enumerate (x, y, z) with x ⊥ y | z for small conditioning sets.
+
+        Used by tests to check the SCM generator is faithful to its DAG.
+        """
+        import itertools
+
+        nodes = self.nodes()
+        found = []
+        for x_var, y_var in itertools.combinations(nodes, 2):
+            others = [n for n in nodes if n not in (x_var, y_var)]
+            for size in range(max_conditioning + 1):
+                for zs in itertools.combinations(others, size):
+                    if self.d_separated(x_var, y_var, zs):
+                        found.append((x_var, y_var, zs))
+        return found
+
+    # ------------------------------------------------------------------
+    # Convenience constructors for the §3.1 canonical structures
+    # ------------------------------------------------------------------
+    @classmethod
+    def chain(cls, *nodes: str) -> "CausalDag":
+        """``n1 -> n2 -> ... -> nk``."""
+        return cls(edges=zip(nodes, nodes[1:]), nodes=nodes)
+
+    @classmethod
+    def fork(cls, common: str, *effects: str) -> "CausalDag":
+        """``effect_i <- common`` for every effect."""
+        return cls(edges=[(common, e) for e in effects],
+                   nodes=(common, *effects))
+
+    @classmethod
+    def collider(cls, sink: str, *causes: str) -> "CausalDag":
+        """``cause_i -> sink`` for every cause."""
+        return cls(edges=[(c, sink) for c in causes],
+                   nodes=(*causes, sink))

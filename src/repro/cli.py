@@ -1,0 +1,139 @@
+"""Command-line interface: run scenarios, rankings and the evaluation.
+
+Usage (after installation)::
+
+    python -m repro.cli scenarios                  # list built-in scenarios
+    python -m repro.cli explain 5.1 --scorer L2    # rank one case study
+    python -m repro.cli table6 --scale 0.5         # the §6.1 evaluation
+    python -m repro.cli scorers                    # registered scorers
+    python -m repro.cli sql 5.1 "SELECT ... "      # ad-hoc SQL on a scenario
+
+The CLI is a thin veneer over the library; each subcommand prints the
+same reports the examples produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.scoring.base import list_scorers
+from repro.workloads import scenarios as scenario_module
+
+SCENARIOS: dict[str, Callable] = {
+    "5.1": scenario_module.fault_injection_scenario,
+    "5.2": scenario_module.conditioning_scenario,
+    "5.3": scenario_module.periodic_namenode_scenario,
+    "5.4": scenario_module.weekly_raid_scenario,
+    "fig14": scenario_module.sawtooth_temperature_scenario,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ExplainIt! reproduction — declarative RCA engine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list built-in case-study scenarios")
+    sub.add_parser("scorers", help="list registered scoring methods")
+
+    explain = sub.add_parser("explain",
+                             help="rank explanations for a scenario")
+    explain.add_argument("scenario", choices=sorted(SCENARIOS))
+    explain.add_argument("--scorer", default="L2-P50")
+    explain.add_argument("--top", type=int, default=10)
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--condition", default=None,
+                         help="family to condition on (or 'none')")
+
+    table6 = sub.add_parser("table6", help="run the §6.1 evaluation")
+    table6.add_argument("--scale", type=float, default=1.0)
+    table6.add_argument("--samples", type=int, default=240)
+    table6.add_argument("--scorers", nargs="+",
+                        default=["CorrMean", "CorrMax", "L2", "L2-P50",
+                                 "L2-P500"])
+
+    sql = sub.add_parser("sql", help="run ad-hoc SQL over a scenario store")
+    sql.add_argument("scenario", choices=sorted(SCENARIOS))
+    sql.add_argument("query")
+    sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument("--rows", type=int, default=20)
+    return parser
+
+
+def cmd_scenarios(_args: argparse.Namespace) -> int:
+    print("Built-in scenarios:")
+    for key in sorted(SCENARIOS):
+        scenario = SCENARIOS[key](seed=0)
+        print(f"  {key:<6} {scenario.name:<32} "
+              f"target={scenario.target}")
+        print(f"         {scenario.description}")
+    return 0
+
+
+def cmd_scorers(_args: argparse.Namespace) -> int:
+    print("Registered scorers:")
+    for name in list_scorers():
+        print(f"  {name}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    scenario = SCENARIOS[args.scenario](seed=args.seed)
+    session = scenario.session()
+    if args.condition is not None:
+        session.set_condition(None if args.condition.lower() == "none"
+                              else args.condition)
+    table = session.explain(scorer=args.scorer, top_k=args.top)
+    print(f"Scenario: {scenario.name} — {scenario.description}")
+    print(f"Ground-truth causes: {sorted(scenario.causes)}")
+    print()
+    print(table.render(args.top))
+    return 0
+
+
+def cmd_table6(args: argparse.Namespace) -> int:
+    from repro.evalkit import evaluate_scorers, format_table6
+    from repro.workloads.incidents import standard_incidents
+
+    incidents = standard_incidents(scale=args.scale, n_samples=args.samples)
+    result = evaluate_scorers(incidents, scorers=tuple(args.scorers))
+    print(format_table6(result))
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    from repro.sql import Database, SqlError
+    from repro.tsdb.adapter import register_store
+
+    scenario = SCENARIOS[args.scenario](seed=args.seed)
+    db = Database()
+    register_store(db, scenario.store)
+    try:
+        result = db.sql(args.query)
+    except SqlError as exc:
+        print(f"SQL error: {exc}", file=sys.stderr)
+        return 1
+    print(result.head_text(args.rows))
+    return 0
+
+
+_COMMANDS = {
+    "scenarios": cmd_scenarios,
+    "scorers": cmd_scorers,
+    "explain": cmd_explain,
+    "table6": cmd_table6,
+    "sql": cmd_sql,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,146 @@
+"""Event-window detection: suggesting the "range to explain" (Figure 2).
+
+The workflow asks the user to highlight the event window they want
+explained.  In practice operators eyeball the target's chart; this module
+automates the eyeballing with two classical detectors so sessions can
+propose candidate windows:
+
+- rolling z-score exceedances, merged into windows — for spikes;
+- two-sided CUSUM — for sustained level shifts (version regressions,
+  §5.2-style changes).
+
+These detectors are *attention* tools in the MacroBase sense the paper
+cites (§7): they pick what to explain; the causal ranking explains it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EventWindow:
+    """A detected anomalous range [start, end) with its severity."""
+
+    start: int
+    end: int
+    severity: float          # peak |z| or CUSUM excess in the window
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.start, self.end)
+
+
+def rolling_zscores(series: np.ndarray, window: int = 30,
+                    min_history: int = 10) -> np.ndarray:
+    """|z| of each point against the trailing window's mean/std.
+
+    Points with fewer than ``min_history`` preceding samples score 0 —
+    a one-sample "history" would make any second point look infinitely
+    anomalous.
+    """
+    series = np.asarray(series, dtype=np.float64).reshape(-1)
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window}")
+    min_history = max(2, min_history)
+    n = series.size
+    out = np.zeros(n)
+    cumsum = np.concatenate([[0.0], np.cumsum(series)])
+    cumsq = np.concatenate([[0.0], np.cumsum(series**2)])
+    for i in range(min_history, n):
+        lo = max(0, i - window)
+        count = i - lo
+        mean = (cumsum[i] - cumsum[lo]) / count
+        var = (cumsq[i] - cumsq[lo]) / count - mean**2
+        std = np.sqrt(max(var, 1e-12))
+        out[i] = abs(series[i] - mean) / std
+    return out
+
+
+def detect_spikes(series: np.ndarray, window: int = 30,
+                  threshold: float = 4.0, merge_gap: int = 3,
+                  max_windows: int = 10) -> list[EventWindow]:
+    """Spike windows: runs of |z| > threshold, merged across small gaps.
+
+    Returns at most ``max_windows`` windows sorted by severity
+    (descending) — the candidates a session proposes to the user.
+    """
+    z = rolling_zscores(series, window=window)
+    hot = z > threshold
+    windows: list[EventWindow] = []
+    start: int | None = None
+    gap = 0
+    for i, is_hot in enumerate(hot):
+        if is_hot:
+            if start is None:
+                start = i
+            gap = 0
+        elif start is not None:
+            gap += 1
+            if gap > merge_gap:
+                end = i - gap + 1
+                windows.append(EventWindow(
+                    start=start, end=end,
+                    severity=float(z[start:end].max())))
+                start = None
+                gap = 0
+    if start is not None:
+        windows.append(EventWindow(
+            start=start, end=len(hot),
+            severity=float(z[start:].max())))
+    windows.sort(key=lambda w: -w.severity)
+    return windows[:max_windows]
+
+
+def cusum_shift(series: np.ndarray, drift: float = 0.5,
+                threshold: float = 8.0) -> EventWindow | None:
+    """Two-sided CUSUM: the first sustained level shift, if any.
+
+    ``drift`` and ``threshold`` are in units of the series' standard
+    deviation.  Returns the window from the detected change point to the
+    end of the series (a level shift persists), or None.
+    """
+    series = np.asarray(series, dtype=np.float64).reshape(-1)
+    if series.size < 8:
+        return None
+    # Calibrate against the initial segment (a global mean would make a
+    # healthy pre-shift period look anomalous after an upward shift).
+    calibration = series[: max(4, series.size // 4)]
+    std = calibration.std()
+    if std < 1e-12:
+        return None
+    normalised = (series - calibration.mean()) / std
+    pos = neg = 0.0
+    pos_start = neg_start = 0
+    for i, value in enumerate(normalised):
+        pos = max(0.0, pos + value - drift)
+        if pos == 0.0:
+            pos_start = i + 1
+        neg = max(0.0, neg - value - drift)
+        if neg == 0.0:
+            neg_start = i + 1
+        if pos > threshold:
+            return EventWindow(start=pos_start, end=series.size,
+                               severity=float(pos))
+        if neg > threshold:
+            return EventWindow(start=neg_start, end=series.size,
+                               severity=float(neg))
+    return None
+
+
+def suggest_explain_range(series: np.ndarray, window: int = 30,
+                          threshold: float = 4.0
+                          ) -> EventWindow | None:
+    """The single best candidate event window for a target series.
+
+    Prefers the most severe spike; falls back to a CUSUM level shift.
+    """
+    spikes = detect_spikes(series, window=window, threshold=threshold)
+    if spikes:
+        return spikes[0]
+    return cusum_shift(series)

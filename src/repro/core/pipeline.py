@@ -1,0 +1,127 @@
+"""The three-stage declarative pipeline of Figure 4.
+
+Stage 1 — users write SQL queries against registered data sources; each
+result is normalised into the Feature Family Table schema
+``(timestamp, name, v: map)`` and the results are unioned.
+
+Stage 2 — the Hypothesis Table is materialised by joining the search
+space with the target and conditioning selections (a broadcast join in
+the paper: Y and Z are small and shipped to every X partition).
+
+Stage 3 — a scoring function maps the Hypothesis Table to the Score
+Table and the top-K results are returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.families import (
+    FamilyError,
+    FamilySet,
+    families_from_table,
+    normalise_query_result,
+    FF_COLUMNS,
+)
+from repro.core.hypothesis import Hypothesis, generate_hypotheses
+from repro.core.ranking import DEFAULT_TOP_K, ScoreTable, rank_families
+from repro.sql.catalog import Database
+from repro.sql.table import Table
+
+
+@dataclass
+class DeclarativePipeline:
+    """End-to-end Figure 4 pipeline over a :class:`Database`."""
+
+    db: Database
+    feature_family_table: Table | None = None
+    _target_table: Table | None = field(default=None, repr=False)
+    _condition_table: Table | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Stage 1: complex queries -> Feature Family Table
+    # ------------------------------------------------------------------
+    def add_feature_queries(self, queries: Sequence[str],
+                            prefixes: Sequence[str] | None = None) -> Table:
+        """Run stage-1 queries and union them into the Feature Family Table.
+
+        Each query must produce ``(timestamp, family_name, metric...)``
+        rows; metric columns fold into the ``v`` map keyed by column name.
+        """
+        if prefixes is not None and len(prefixes) != len(queries):
+            raise FamilyError(
+                f"{len(prefixes)} prefixes for {len(queries)} queries"
+            )
+        combined = Table.empty(FF_COLUMNS)
+        for i, query in enumerate(queries):
+            result = self.db.sql(query)
+            prefix = prefixes[i] if prefixes is not None else ""
+            combined = combined.union_all(
+                normalise_query_result(result, family_prefix=prefix)
+            )
+        self.feature_family_table = combined
+        self.db.register("feature_family", combined)
+        return combined
+
+    def set_target_query(self, query: str) -> Table:
+        """Stage-1 query selecting the target metric family (listing 1)."""
+        self._target_table = normalise_query_result(
+            self.db.sql(query), family_prefix="target:"
+        )
+        self.db.register("target", self._target_table)
+        return self._target_table
+
+    def set_condition_query(self, query: str | None) -> Table | None:
+        """Stage-1 query selecting the conditioning variables (listing 4)."""
+        if query is None:
+            self._condition_table = None
+            self.db.drop("condition")
+            return None
+        self._condition_table = normalise_query_result(
+            self.db.sql(query), family_prefix="condition:"
+        )
+        self.db.register("condition", self._condition_table)
+        return self._condition_table
+
+    # ------------------------------------------------------------------
+    # Stage 2: Hypothesis Table (broadcast join of Y, Z onto each X)
+    # ------------------------------------------------------------------
+    def build_hypotheses(self) -> list[Hypothesis]:
+        """Materialise hypotheses from the staged tables."""
+        if self.feature_family_table is None:
+            raise FamilyError("run add_feature_queries first")
+        if self._target_table is None:
+            raise FamilyError("run set_target_query first")
+        combined = self.feature_family_table.union_all(self._target_table)
+        if self._condition_table is not None:
+            combined = combined.union_all(self._condition_table)
+        families = families_from_table(combined)
+        target_name = self._single_family_name(self._target_table, "target")
+        condition_name = (
+            self._single_family_name(self._condition_table, "condition")
+            if self._condition_table is not None else None
+        )
+        return generate_hypotheses(families, target_name,
+                                   condition=condition_name)
+
+    @staticmethod
+    def _single_family_name(table: Table, label: str) -> str:
+        names = {row[1] for row in table.rows}
+        if len(names) != 1:
+            raise FamilyError(
+                f"{label} query must produce exactly one family, got "
+                f"{sorted(names)[:5]}"
+            )
+        return next(iter(names))
+
+    # ------------------------------------------------------------------
+    # Stage 3: scoring -> Score Table
+    # ------------------------------------------------------------------
+    def run(self, scorer: str = "L2-P50",
+            top_k: int = DEFAULT_TOP_K) -> ScoreTable:
+        """Score all hypotheses and register the Score Table for SQL access."""
+        hypotheses = self.build_hypotheses()
+        score_table = rank_families(hypotheses, scorer=scorer, top_k=top_k)
+        self.db.register("score", score_table.to_table())
+        return score_table

@@ -1,0 +1,131 @@
+"""Pseudocauses: conditioning on components of the target itself (§3.4).
+
+When the target ``Y1 = Ys + Yr`` mixes a seasonal component with the
+residual spike the user cares about, conditioning on the *pseudocause*
+``Ys`` blocks the unknown true causes of seasonality (Figure 3) and lets
+the ranking surface causes specific to ``Yr``.
+
+The decomposition here is a classical additive one:
+
+- trend: centred moving average;
+- seasonal: per-phase means of the detrended series for a given period;
+- residual: what remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class DecompositionError(Exception):
+    """Raised for invalid periods or too-short series."""
+
+
+@dataclass
+class SeasonalDecomposition:
+    """Additive decomposition ``y = trend + seasonal + residual``."""
+
+    trend: np.ndarray
+    seasonal: np.ndarray
+    residual: np.ndarray
+    period: int
+
+    def reconstruct(self) -> np.ndarray:
+        """trend + seasonal + residual (equals the input exactly)."""
+        return self.trend + self.seasonal + self.residual
+
+    def pseudocause_matrix(self) -> np.ndarray:
+        """(T, 2) matrix [trend, seasonal] to condition on (the Ys block)."""
+        return np.column_stack([self.trend, self.seasonal])
+
+
+def moving_average(series: np.ndarray, window: int) -> np.ndarray:
+    """Centred moving average with edge shrinking (no NaN edges)."""
+    series = np.asarray(series, dtype=np.float64)
+    if window <= 0:
+        raise DecompositionError(f"window must be positive, got {window}")
+    if window == 1:
+        return series.copy()
+    n = series.size
+    half = window // 2
+    cumsum = np.concatenate([[0.0], np.cumsum(series)])
+    out = np.empty(n)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out[i] = (cumsum[hi] - cumsum[lo]) / (hi - lo)
+    return out
+
+
+def decompose(series: np.ndarray, period: int) -> SeasonalDecomposition:
+    """Additive trend/seasonal/residual decomposition.
+
+    ``period`` is the seasonality length in samples (e.g. 1440 for daily
+    seasonality at minute granularity).  Requires at least two full
+    periods of data.
+    """
+    series = np.asarray(series, dtype=np.float64).reshape(-1)
+    if period < 2:
+        raise DecompositionError(f"period must be >= 2, got {period}")
+    if series.size < 2 * period:
+        raise DecompositionError(
+            f"need at least two periods ({2 * period} samples), "
+            f"got {series.size}"
+        )
+    trend = moving_average(series, period if period % 2 == 1 else period + 1)
+    detrended = series - trend
+    phases = np.arange(series.size) % period
+    seasonal_means = np.zeros(period)
+    for phase in range(period):
+        values = detrended[phases == phase]
+        seasonal_means[phase] = values.mean() if values.size else 0.0
+    seasonal_means -= seasonal_means.mean()   # identifiability: zero-mean
+    seasonal = seasonal_means[phases]
+    residual = series - trend - seasonal
+    return SeasonalDecomposition(trend=trend, seasonal=seasonal,
+                                 residual=residual, period=period)
+
+
+def estimate_period(series: np.ndarray, max_period: int | None = None,
+                    min_period: int = 2) -> int:
+    """Estimate the dominant period from the autocorrelation function.
+
+    Scans lags for the highest autocorrelation peak; used when the user
+    asks for pseudocause conditioning without naming a period.
+    """
+    series = np.asarray(series, dtype=np.float64).reshape(-1)
+    n = series.size
+    if max_period is None:
+        max_period = n // 3
+    if max_period < min_period:
+        raise DecompositionError(
+            f"series too short to estimate a period (n={n})"
+        )
+    centred = series - series.mean()
+    denom = float(centred @ centred)
+    if denom <= 1e-12:
+        raise DecompositionError("constant series has no period")
+    best_lag = min_period
+    best_acf = -np.inf
+    for lag in range(min_period, max_period + 1):
+        acf = float(centred[:-lag] @ centred[lag:]) / denom
+        if acf > best_acf:
+            best_acf = acf
+            best_lag = lag
+    return best_lag
+
+
+def pseudocauses(target: np.ndarray, period: int | None = None) -> np.ndarray:
+    """Derive the Z matrix of pseudocauses from the target itself.
+
+    Decomposes the (first column of the) target and returns the
+    [trend, seasonal] matrix to condition on.  The period is estimated
+    from the autocorrelation function when not given.
+    """
+    target = np.asarray(target, dtype=np.float64)
+    series = target[:, 0] if target.ndim == 2 else target
+    if period is None:
+        period = estimate_period(series)
+    return decompose(series, period).pseudocause_matrix()

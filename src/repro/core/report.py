@@ -1,0 +1,134 @@
+"""Diagnostic reports: scores plus the plots that justify them.
+
+Appendix D: "Short of a precise loss function, a single score does not
+distinguish a good from a bad prediction.  Visualisations come in handy
+to rule out such explanations."  A :class:`DiagnosticReport` pairs each
+ranked hypothesis with the observed-vs-predicted overlay the paper's UI
+shows (Figures 14/15), plus residual statistics that flag exactly the
+Figure 14 failure mode: a high overall score that does not track the
+event window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import viz
+from repro.core.hypothesis import Hypothesis
+from repro.linmodel.ridge import Ridge
+from repro.scoring.conditional import residualize
+
+
+@dataclass
+class HypothesisDiagnostic:
+    """Fit diagnostics for one hypothesis."""
+
+    family: str
+    score: float
+    target: np.ndarray              # (T,) averaged target (residualised)
+    prediction: np.ndarray          # (T,) fitted E[Y | X(, Z)]
+    event_window: tuple[int, int] | None = None
+
+    @property
+    def residual(self) -> np.ndarray:
+        return self.target - self.prediction
+
+    def event_residual_ratio(self) -> float | None:
+        """|residual| inside the event window vs outside.
+
+        Near 1 means the event is explained as well as the background;
+        much larger than 1 is the Figure 14 pattern — the score came from
+        variation *other* than the event the user asked about.
+        """
+        if self.event_window is None:
+            return None
+        lo, hi = self.event_window
+        mask = np.zeros(self.target.size, dtype=bool)
+        mask[lo:hi] = True
+        if mask.all() or not mask.any():
+            return None
+        inside = float(np.abs(self.residual[mask]).mean())
+        outside = float(np.abs(self.residual[~mask]).mean())
+        return inside / max(outside, 1e-12)
+
+    def render(self, width: int = 64, height: int = 8) -> str:
+        """The overlay plot plus the verdict line."""
+        lines = [
+            f"family: {self.family}   score: {self.score:.3f}",
+            viz.overlay_plot(self.target, self.prediction,
+                             width=width, height=height),
+        ]
+        ratio = self.event_residual_ratio()
+        if ratio is not None:
+            verdict = ("the event window is explained"
+                       if ratio < 2.0 else
+                       "WARNING: high score but the event window is NOT "
+                       "explained (Figure 14 pattern)")
+            lines.append(f"event residual ratio: {ratio:.1f}x — {verdict}")
+        return "\n".join(lines)
+
+
+def diagnose(hypothesis: Hypothesis, score: float,
+             event_window: tuple[int, int] | None = None,
+             alpha: float = 1.0) -> HypothesisDiagnostic:
+    """Fit E[Y | X(, Z)] for one hypothesis and package the diagnostics.
+
+    With a conditioning family the target and the explanation are first
+    residualised on Z (so the plot shows exactly what the conditional
+    score measured, as in Figure 15).
+    """
+    x, y, z = hypothesis.matrices()
+    if z is not None:
+        y = residualize(y, z)
+        x = residualize(x, z)
+    model = Ridge(alpha=alpha).fit(x, y)
+    prediction = model.predict(x)
+    if prediction.ndim == 1:
+        prediction = prediction[:, None]
+    return HypothesisDiagnostic(
+        family=hypothesis.name,
+        score=score,
+        target=y.mean(axis=1),
+        prediction=prediction.mean(axis=1),
+        event_window=event_window,
+    )
+
+
+@dataclass
+class DiagnosticReport:
+    """A rendered bundle of diagnostics for the top-k hypotheses."""
+
+    diagnostics: list[HypothesisDiagnostic] = field(default_factory=list)
+
+    @classmethod
+    def for_ranking(cls, hypotheses, score_table, k: int = 5,
+                    event_window: tuple[int, int] | None = None
+                    ) -> "DiagnosticReport":
+        """Build diagnostics for the top-k rows of a ScoreTable."""
+        by_name = {h.name: h for h in hypotheses}
+        diagnostics = []
+        for row in score_table.top(k):
+            hypothesis = by_name.get(row.family)
+            if hypothesis is None:
+                continue
+            diagnostics.append(diagnose(hypothesis, row.score,
+                                        event_window=event_window))
+        return cls(diagnostics=diagnostics)
+
+    def render(self, width: int = 64, height: int = 8) -> str:
+        blocks = [d.render(width=width, height=height)
+                  for d in self.diagnostics]
+        separator = "\n" + "-" * (width + 12) + "\n"
+        return separator.join(blocks)
+
+    def suspicious(self, threshold: float = 2.0
+                   ) -> list[HypothesisDiagnostic]:
+        """Diagnostics whose event window is unexplained despite the score."""
+        flagged = []
+        for diag in self.diagnostics:
+            ratio = diag.event_residual_ratio()
+            if ratio is not None and ratio >= threshold:
+                flagged.append(diag)
+        return flagged

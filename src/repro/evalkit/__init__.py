@@ -1,0 +1,39 @@
+"""Evaluation kit: ranking metrics and the Table 6 harness.
+
+- :mod:`repro.evalkit.metrics` — discounted ranking gain (Zipfian 1/r and
+  logarithmic discounts), success@k, harmonic/arithmetic summaries with
+  the paper's 0.001 failure imputation.
+- :mod:`repro.evalkit.harness` — run a set of scorers over a set of
+  incidents and print Table 6's per-scenario and summary blocks, plus the
+  Figure 10 timing distributions.
+- :mod:`repro.evalkit.cost` — empirical cost curves behind Table 2.
+"""
+
+from repro.evalkit.metrics import (
+    discounted_gain,
+    log_discounted_gain,
+    success_at_k,
+    summarize_gains,
+)
+from repro.evalkit.harness import (
+    EvaluationResult,
+    ScenarioOutcome,
+    evaluate_scorers,
+    format_table6,
+    timing_summary,
+)
+from repro.evalkit.cost import CostSample, measure_cost_curve
+
+__all__ = [
+    "discounted_gain",
+    "log_discounted_gain",
+    "success_at_k",
+    "summarize_gains",
+    "EvaluationResult",
+    "ScenarioOutcome",
+    "evaluate_scorers",
+    "format_table6",
+    "timing_summary",
+    "CostSample",
+    "measure_cost_curve",
+]

@@ -1,0 +1,75 @@
+"""Empirical scoring-cost curves (Table 2).
+
+Table 2 gives asymptotic CPU costs: univariate O(nx ny T), joint
+O(kL(Cx,y + ...)) and random projection O(kLTd(nx+ny+nz+d)).  The
+measurement here sweeps matrix widths and sample counts, times each
+scorer on synthetic data, and fits a log-log slope so the benchmark can
+check the *growth order*, not machine-specific constants.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.scoring.base import get_scorer
+
+
+@dataclass
+class CostSample:
+    """One timing measurement."""
+
+    scorer: str
+    n_samples: int
+    nx: int
+    ny: int
+    seconds: float
+
+
+def measure_cost_curve(scorer_name: str,
+                       widths: Sequence[int] = (8, 16, 32, 64),
+                       n_samples: int = 240,
+                       ny: int = 1,
+                       repeats: int = 3,
+                       seed: int = 0) -> list[CostSample]:
+    """Time one scorer across a sweep of X widths."""
+    rng = np.random.default_rng(seed)
+    scorer = get_scorer(scorer_name)
+    samples: list[CostSample] = []
+    for nx in widths:
+        x = rng.standard_normal((n_samples, nx))
+        y = rng.standard_normal((n_samples, ny))
+        scorer.score(x, y)      # warm-up (BLAS thread pools, caches)
+        best = np.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            scorer.score(x, y)
+            best = min(best, time.perf_counter() - start)
+        samples.append(CostSample(scorer=scorer_name, n_samples=n_samples,
+                                  nx=nx, ny=ny, seconds=float(best)))
+    return samples
+
+
+def fit_growth_exponent(samples: Sequence[CostSample]) -> float:
+    """Log-log slope of seconds vs nx — the empirical growth order."""
+    if len(samples) < 2:
+        raise ValueError("need at least two samples to fit a slope")
+    xs = np.log([s.nx for s in samples])
+    ys = np.log([max(s.seconds, 1e-9) for s in samples])
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(slope)
+
+
+def format_cost_table(curves: dict[str, list[CostSample]]) -> str:
+    """Render a Table 2-style cost comparison."""
+    lines = [f"{'Method':<12}{'nx sweep':<28}{'seconds':<40}{'slope':>7}"]
+    lines.append("-" * len(lines[0]))
+    for scorer, samples in curves.items():
+        widths = ",".join(str(s.nx) for s in samples)
+        seconds = ",".join(f"{s.seconds * 1e3:.1f}ms" for s in samples)
+        slope = fit_growth_exponent(samples)
+        lines.append(f"{scorer:<12}{widths:<28}{seconds:<40}{slope:>7.2f}")
+    return "\n".join(lines)

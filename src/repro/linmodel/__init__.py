@@ -1,0 +1,43 @@
+"""Linear-model substrate (replaces scikit-learn in the paper's stack).
+
+ExplainIt! scores hypotheses with penalised linear regressions selected by
+k-fold cross-validation (section 3.5).  This package provides the required
+estimators from scratch on numpy:
+
+- :mod:`repro.linmodel.linear` — ordinary least squares.
+- :mod:`repro.linmodel.ridge` — Ridge regression with an SVD-factorised
+  path over the penalty grid (one SVD serves every λ, the optimisation
+  that makes grid search cheap).
+- :mod:`repro.linmodel.lasso` — Lasso via cyclical coordinate descent.
+- :mod:`repro.linmodel.crossval` — contiguous (non-shuffled) k-fold splits
+  for autocorrelated time series, per the paper's §3.5 requirement that
+  validation ranges do not overlap training ranges.
+- :mod:`repro.linmodel.model_selection` — grid-search CV producing
+  out-of-fold r² estimates (the "adjusted r²" the engine reports).
+- :mod:`repro.linmodel.preprocessing` — standardisation and interpolation.
+- :mod:`repro.linmodel.metrics` — r², MSE, explained variance.
+"""
+
+from repro.linmodel.linear import LinearRegression
+from repro.linmodel.ridge import Ridge, ridge_path
+from repro.linmodel.lasso import Lasso
+from repro.linmodel.crossval import TimeSeriesKFold, train_test_split_time
+from repro.linmodel.model_selection import GridSearchCV, cross_val_r2
+from repro.linmodel.preprocessing import StandardScaler, interpolate_missing
+from repro.linmodel.metrics import mse, r2_score, explained_variance
+
+__all__ = [
+    "LinearRegression",
+    "Ridge",
+    "ridge_path",
+    "Lasso",
+    "TimeSeriesKFold",
+    "train_test_split_time",
+    "GridSearchCV",
+    "cross_val_r2",
+    "StandardScaler",
+    "interpolate_missing",
+    "mse",
+    "r2_score",
+    "explained_variance",
+]

@@ -1,0 +1,86 @@
+"""Ordinary least squares via numpy's least-squares solver.
+
+Supports multi-output targets (Y with several columns): each output gets
+its own coefficient column, exactly the stacked regression the paper's
+multivariate scoring performs when a feature family has many metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linmodel.metrics import r2_score
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict/score is called before fit."""
+
+
+def _validate_xy(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim == 1:
+        x = x[:, None]
+    if y.ndim == 1:
+        y = y[:, None]
+    if x.ndim != 2 or y.ndim != 2:
+        raise ValueError(
+            f"expected 2-D X and Y, got shapes {x.shape} and {y.shape}"
+        )
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X has {x.shape[0]} rows but Y has {y.shape[0]}"
+        )
+    if x.shape[0] == 0:
+        raise ValueError("cannot fit on zero samples")
+    if not np.all(np.isfinite(x)):
+        raise ValueError("X contains NaN or infinity; interpolate first")
+    if not np.all(np.isfinite(y)):
+        raise ValueError("Y contains NaN or infinity; interpolate first")
+    return x, y
+
+
+class LinearRegression:
+    """OLS: minimises ||Y - X beta - intercept||² with no penalty."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None        # (n_features, n_outputs)
+        self.intercept_: np.ndarray | None = None   # (n_outputs,)
+        self._y_was_1d = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        self._y_was_1d = np.asarray(y).ndim == 1
+        x, y = _validate_xy(x, y)
+        if self.fit_intercept:
+            x_mean = x.mean(axis=0)
+            y_mean = y.mean(axis=0)
+            xc = x - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(x.shape[1])
+            y_mean = np.zeros(y.shape[1])
+            xc, yc = x, y
+        coef, *_ = np.linalg.lstsq(xc, yc, rcond=None)
+        self.coef_ = coef
+        self.intercept_ = y_mean - x_mean @ coef
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None or self.intercept_ is None:
+            raise NotFittedError("call fit() before predict()")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        pred = x @ self.coef_ + self.intercept_
+        return pred[:, 0] if self._y_was_1d else pred
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """r² of the prediction against ``y``."""
+        return r2_score(y, self.predict(x))
+
+    def residuals(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Y - Yhat, the "unexplained" component used by conditional scoring."""
+        y_arr = np.asarray(y, dtype=np.float64)
+        pred = self.predict(x)
+        return y_arr - pred

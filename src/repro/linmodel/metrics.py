@@ -1,0 +1,81 @@
+"""Regression metrics: r², MSE, explained variance.
+
+The r² here is the paper's score primitive (§3.5): the fraction of variance
+in Y explained by the prediction, where the baseline model predicts the
+training mean of Y.  Multi-output targets are aggregated with a
+variance-weighted average so large-variance components dominate exactly as
+they do in the stacked least-squares objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_2d(a: np.ndarray) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim == 1:
+        return arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D array, got shape {arr.shape}")
+    return arr
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error over all outputs."""
+    yt, yp = _as_2d(y_true), _as_2d(y_pred)
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    return float(np.mean((yt - yp) ** 2))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray,
+             baseline_mean: np.ndarray | None = None) -> float:
+    """Variance-weighted r² = 1 - RSS/TSS.
+
+    ``baseline_mean`` lets callers supply the *training* mean for held-out
+    evaluation (the residual baseline the paper compares to); by default
+    the mean of ``y_true`` itself is used.
+
+    Degenerate case: when TSS is ~0 (constant target), the score is 1.0 if
+    the prediction matches the constant, else 0.0.
+    """
+    yt, yp = _as_2d(y_true), _as_2d(y_pred)
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    if baseline_mean is None:
+        mean = yt.mean(axis=0)
+    else:
+        mean = np.asarray(baseline_mean, dtype=np.float64).reshape(-1)
+        if mean.shape[0] != yt.shape[1]:
+            raise ValueError(
+                f"baseline mean has {mean.shape[0]} entries for "
+                f"{yt.shape[1]} outputs"
+            )
+    rss = float(np.sum((yt - yp) ** 2))
+    tss = float(np.sum((yt - mean) ** 2))
+    if tss <= 1e-12:
+        return 1.0 if rss <= 1e-12 else 0.0
+    return 1.0 - rss / tss
+
+
+def explained_variance(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """1 - Var(residual)/Var(y); like r² but insensitive to constant offset."""
+    yt, yp = _as_2d(y_true), _as_2d(y_pred)
+    var_res = float(np.sum(np.var(yt - yp, axis=0)))
+    var_y = float(np.sum(np.var(yt, axis=0)))
+    if var_y <= 1e-12:
+        return 1.0 if var_res <= 1e-12 else 0.0
+    return 1.0 - var_res / var_y
+
+
+def adjusted_r2(r2: float, n_samples: int, n_predictors: int) -> float:
+    """Wherry's adjustment (Appendix A): r²_adj = 1 - (1-r²)(n-1)/(n-p).
+
+    For p >= n the adjustment is undefined; we return the conservative 0.0
+    because an OLS fit with p >= n interpolates and carries no evidence.
+    """
+    if n_samples <= n_predictors:
+        return 0.0
+    factor = (n_samples - 1) / (n_samples - n_predictors)
+    return 1.0 - (1.0 - r2) * factor

@@ -1,0 +1,107 @@
+"""Ridge regression with an SVD-factorised penalty path.
+
+The paper grid-searches L values of the ridge penalty inside k-fold CV
+(§3.5, §4.3).  A naive implementation solves a linear system per λ; here
+one thin SVD of the (centred) design matrix serves every λ on the path —
+the shrinkage only rescales the singular values:
+
+    beta(λ) = V diag(s / (s² + λ)) Uᵀ Y
+
+which is why "Ridge regression ... is often faster than Lasso on the same
+data" (§3.5) holds in this implementation too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linmodel.linear import NotFittedError, _validate_xy
+from repro.linmodel.metrics import r2_score
+
+#: Default penalty grid; the paper uses L = 3-5 grid points.
+DEFAULT_ALPHAS = (0.1, 10.0, 1000.0)
+
+
+class Ridge:
+    """Ridge regression: minimises (1/T)||Y - X beta||² + alpha ||beta||²."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self._y_was_1d = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Ridge":
+        self._y_was_1d = np.asarray(y).ndim == 1
+        x, y = _validate_xy(x, y)
+        factor = RidgeSvdFactor(x, y, fit_intercept=self.fit_intercept)
+        self.coef_, self.intercept_ = factor.solve(self.alpha)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None or self.intercept_ is None:
+            raise NotFittedError("call fit() before predict()")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        pred = x @ self.coef_ + self.intercept_
+        return pred[:, 0] if self._y_was_1d else pred
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """r² of the prediction against ``y``."""
+        return r2_score(y, self.predict(x))
+
+
+class RidgeSvdFactor:
+    """Shared SVD factorisation reused across a penalty path.
+
+    Build once per (X, Y) pair; :meth:`solve` then costs only
+    O(rank · n_outputs) per λ.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray,
+                 fit_intercept: bool = True) -> None:
+        x, y = _validate_xy(x, y)
+        self._fit_intercept = fit_intercept
+        if fit_intercept:
+            self._x_mean = x.mean(axis=0)
+            self._y_mean = y.mean(axis=0)
+            xc = x - self._x_mean
+            yc = y - self._y_mean
+        else:
+            self._x_mean = np.zeros(x.shape[1])
+            self._y_mean = np.zeros(y.shape[1])
+            xc, yc = x, y
+        # Thin SVD: xc = U diag(s) Vt with U (T, r), Vt (r, p).
+        u, s, vt = np.linalg.svd(xc, full_matrices=False)
+        self._u_t_y = u.T @ yc            # (r, n_outputs)
+        self._s = s
+        self._vt = vt
+
+    def solve(self, alpha: float) -> tuple[np.ndarray, np.ndarray]:
+        """Coefficients and intercept for one penalty value."""
+        s = self._s
+        # Guard tiny singular values to avoid 0/0 when alpha == 0.
+        denom = s**2 + alpha
+        shrink = np.divide(s, denom, out=np.zeros_like(s),
+                           where=denom > 1e-15)
+        coef = self._vt.T @ (shrink[:, None] * self._u_t_y)
+        intercept = self._y_mean - self._x_mean @ coef
+        return coef, intercept
+
+
+def ridge_path(x: np.ndarray, y: np.ndarray, alphas=DEFAULT_ALPHAS,
+               fit_intercept: bool = True) -> dict[float, Ridge]:
+    """Fit one Ridge per penalty on the grid, sharing a single SVD."""
+    y_was_1d = np.asarray(y).ndim == 1
+    factor = RidgeSvdFactor(x, y, fit_intercept=fit_intercept)
+    models: dict[float, Ridge] = {}
+    for alpha in alphas:
+        model = Ridge(alpha=alpha, fit_intercept=fit_intercept)
+        model.coef_, model.intercept_ = factor.solve(alpha)
+        model._y_was_1d = y_was_1d
+        models[float(alpha)] = model
+    return models

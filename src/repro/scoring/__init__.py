@@ -1,0 +1,60 @@
+"""Hypothesis scoring: the five scorers of §6 plus significance control.
+
+A scorer maps a hypothesis triple of dense matrices ``(X, Y, Z)`` — shapes
+``(T, nx)``, ``(T, ny)``, ``(T, nz)`` — to a causal-relevance score in
+``[0, 1]`` measuring the dependence ``Y ~ X | Z``:
+
+- :class:`~repro.scoring.univariate.CorrMeanScorer` /
+  :class:`~repro.scoring.univariate.CorrMaxScorer` — mean/max absolute
+  pairwise Pearson correlation (marginal dependence only).
+- :class:`~repro.scoring.joint.L2Scorer` — cross-validated ridge r²
+  (joint dependence), the paper's ``L2``.
+- :class:`~repro.scoring.projection.ProjectedL2Scorer` — ``L2-P50`` /
+  ``L2-P500``: random projection to at most d dimensions first.
+- Conditional scoring (Z non-empty) runs the three-regression residual
+  procedure of §3.5, proved correct for jointly-normal data in Appendix B.
+
+:mod:`repro.scoring.significance` implements Appendix A: the Beta null
+distribution of r², Wherry's adjustment, Chebyshev p-values, and the
+Bonferroni / Benjamini-Hochberg multiple-testing corrections.
+"""
+
+from repro.scoring.base import Scorer, get_scorer, list_scorers, register_scorer
+from repro.scoring.univariate import CorrMaxScorer, CorrMeanScorer, correlation_matrix
+from repro.scoring.joint import L2Scorer, L1Scorer
+from repro.scoring.projection import ProjectedL2Scorer, random_projection
+from repro.scoring.conditional import conditional_score, residualize
+from repro.scoring.lagged import LaggedScorer, best_lag, lag_matrix
+from repro.scoring.significance import (
+    benjamini_hochberg,
+    bonferroni,
+    null_r2_distribution,
+    p_value_chebyshev,
+    sample_null_r2_ols,
+    sample_null_r2_ridge_cv,
+)
+
+__all__ = [
+    "Scorer",
+    "get_scorer",
+    "list_scorers",
+    "register_scorer",
+    "CorrMeanScorer",
+    "CorrMaxScorer",
+    "correlation_matrix",
+    "L2Scorer",
+    "L1Scorer",
+    "ProjectedL2Scorer",
+    "random_projection",
+    "conditional_score",
+    "residualize",
+    "LaggedScorer",
+    "best_lag",
+    "lag_matrix",
+    "null_r2_distribution",
+    "p_value_chebyshev",
+    "sample_null_r2_ols",
+    "sample_null_r2_ridge_cv",
+    "bonferroni",
+    "benjamini_hochberg",
+]

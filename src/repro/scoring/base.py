@@ -1,0 +1,96 @@
+"""Scorer protocol and registry.
+
+Scorers are stateless callables with a ``score(x, y, z)`` method.  The
+registry maps the names used throughout the paper's evaluation
+(``CorrMean``, ``CorrMax``, ``L2``, ``L2-P50``, ``L2-P500``) to factory
+functions, so harness code can sweep scorers by name.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+
+class ScoringError(Exception):
+    """Raised when a hypothesis cannot be scored."""
+
+
+class Scorer(abc.ABC):
+    """Scores the dependence Y ~ X | Z into [0, 1]."""
+
+    #: Human-readable name used in reports and benchmarks.
+    name: str = "scorer"
+
+    @abc.abstractmethod
+    def score(self, x: np.ndarray, y: np.ndarray,
+              z: np.ndarray | None = None) -> float:
+        """Return the causal-relevance score for the triple (X, Y, Z)."""
+
+    def __call__(self, x: np.ndarray, y: np.ndarray,
+                 z: np.ndarray | None = None) -> float:
+        return self.score(x, y, z)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def validate_triple(x: np.ndarray, y: np.ndarray,
+                    z: np.ndarray | None) -> tuple[np.ndarray, np.ndarray,
+                                                   np.ndarray | None]:
+    """Coerce a hypothesis triple to aligned 2-D float matrices."""
+    x = _as_matrix(x, "X")
+    y = _as_matrix(y, "Y")
+    if x.shape[0] != y.shape[0]:
+        raise ScoringError(
+            f"X has {x.shape[0]} rows but Y has {y.shape[0]}"
+        )
+    if x.shape[1] == 0 or y.shape[1] == 0:
+        raise ScoringError("X and Y must contain at least one metric each")
+    if z is not None:
+        z = _as_matrix(z, "Z")
+        if z.shape[1] == 0:
+            z = None
+        elif z.shape[0] != x.shape[0]:
+            raise ScoringError(
+                f"Z has {z.shape[0]} rows but X has {x.shape[0]}"
+            )
+    return x, y, z
+
+
+def _as_matrix(a: np.ndarray, label: str) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ScoringError(f"{label} must be 1-D or 2-D, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ScoringError(
+            f"{label} contains NaN/inf; run interpolate_missing first"
+        )
+    return arr
+
+
+_REGISTRY: dict[str, Callable[[], Scorer]] = {}
+
+
+def register_scorer(name: str, factory: Callable[[], Scorer]) -> None:
+    """Register a scorer factory under a (case-insensitive) name."""
+    _REGISTRY[name.lower()] = factory
+
+
+def get_scorer(name: str) -> Scorer:
+    """Instantiate a scorer by its registry name (e.g. ``"L2-P50"``)."""
+    factory = _REGISTRY.get(name.lower())
+    if factory is None:
+        raise ScoringError(
+            f"unknown scorer {name!r}; available: {list_scorers()}"
+        )
+    return factory()
+
+
+def list_scorers() -> list[str]:
+    """Registered scorer names, sorted."""
+    return sorted(_REGISTRY)

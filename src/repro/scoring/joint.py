@@ -1,0 +1,95 @@
+"""Joint multivariate scoring with penalised regression (the paper's L2).
+
+The score is the cross-validated r² of a ridge regression ``Y ~ X`` —
+"the percentage of variance in Y explained by X on unseen data" — with a
+grid search over the penalty inside contiguous k-fold CV (§3.5).  With a
+non-empty Z the three-regression conditional procedure is used instead.
+
+``L1Scorer`` is the Lasso variant the paper also experimented with; it is
+slower (no shared factorisation across the penalty path) but yields
+similar rankings, which the ablation benchmark confirms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.linmodel.lasso import Lasso
+from repro.linmodel.crossval import TimeSeriesKFold
+from repro.linmodel.model_selection import cross_val_r2
+from repro.linmodel.preprocessing import StandardScaler
+from repro.linmodel.ridge import DEFAULT_ALPHAS
+from repro.scoring.base import Scorer, register_scorer, validate_triple
+from repro.scoring.conditional import conditional_score
+
+
+class L2Scorer(Scorer):
+    """Joint ridge-regression scoring (grid-searched, cross-validated)."""
+
+    name = "L2"
+
+    def __init__(self, alphas: Sequence[float] = DEFAULT_ALPHAS,
+                 n_splits: int = 5, standardize: bool = True) -> None:
+        self.alphas = tuple(float(a) for a in alphas)
+        self.n_splits = n_splits
+        self.standardize = standardize
+
+    def score(self, x: np.ndarray, y: np.ndarray,
+              z: np.ndarray | None = None) -> float:
+        x, y, z = validate_triple(x, y, z)
+        if self.standardize:
+            x = StandardScaler().fit_transform(x)
+            y = StandardScaler().fit_transform(y)
+            if z is not None:
+                z = StandardScaler().fit_transform(z)
+        if z is not None:
+            return conditional_score(x, y, z, alphas=self.alphas,
+                                     n_splits=self.n_splits)
+        result = cross_val_r2(x, y, alphas=self.alphas,
+                              n_splits=self.n_splits)
+        return float(np.clip(result.best_score, 0.0, 1.0))
+
+
+class L1Scorer(Scorer):
+    """Joint Lasso scoring (penalty ablation variant)."""
+
+    name = "L1"
+
+    def __init__(self, alphas: Sequence[float] = (0.001, 0.01, 0.1),
+                 n_splits: int = 5) -> None:
+        self.alphas = tuple(float(a) for a in alphas)
+        self.n_splits = n_splits
+
+    def score(self, x: np.ndarray, y: np.ndarray,
+              z: np.ndarray | None = None) -> float:
+        x, y, z = validate_triple(x, y, z)
+        x = StandardScaler().fit_transform(x)
+        y = StandardScaler().fit_transform(y)
+        if z is not None:
+            z = StandardScaler().fit_transform(z)
+            from repro.scoring.conditional import residualize
+            x = residualize(x, z)
+            y = residualize(y, z)
+        splitter = TimeSeriesKFold(n_splits=self.n_splits)
+        rss = {alpha: 0.0 for alpha in self.alphas}
+        tss = 0.0
+        for train_idx, valid_idx in splitter.split(x.shape[0]):
+            y_valid = y[valid_idx]
+            train_mean = y[train_idx].mean(axis=0)
+            tss += float(np.sum((y_valid - train_mean) ** 2))
+            for alpha in self.alphas:
+                model = Lasso(alpha=alpha).fit(x[train_idx], y[train_idx])
+                pred = model.predict(x[valid_idx])
+                if pred.ndim == 1:
+                    pred = pred[:, None]
+                rss[alpha] += float(np.sum((y_valid - pred) ** 2))
+        if tss <= 1e-12:
+            return 0.0
+        best = max(max(0.0, 1.0 - fold_rss / tss) for fold_rss in rss.values())
+        return float(np.clip(best, 0.0, 1.0))
+
+
+register_scorer("L2", L2Scorer)
+register_scorer("L1", L1Scorer)

@@ -1,0 +1,27 @@
+"""Declarative SQL query substrate (replaces Spark SQL in the paper).
+
+ExplainIt!'s headline claim is that a *declarative* language lets users
+succinctly enumerate causal hypotheses.  In the paper this layer is Spark
+SQL; here it is a self-contained engine:
+
+- :mod:`repro.sql.table` — the relational :class:`~repro.sql.table.Table`
+  (named columns, Python-value rows, map/list cells).
+- :mod:`repro.sql.lexer` / :mod:`repro.sql.parser` /
+  :mod:`repro.sql.nodes` — SQL text → AST.
+- :mod:`repro.sql.functions` — aggregates, scalar functions, and UDF
+  registration (the paper's ``hostgroup`` example).
+- :mod:`repro.sql.executor` — AST evaluation: filters, projections,
+  grouping, ordering, hash equi-joins (inner/left/full outer), unions,
+  window functions (LAG/LEAD) and subqueries.
+- :mod:`repro.sql.catalog` — the :class:`~repro.sql.catalog.Database`
+  facade that registers tables/UDFs and runs queries.
+
+All five SQL listings from the paper's Appendix C run verbatim on this
+engine (see ``tests/sql/test_paper_listings.py``).
+"""
+
+from repro.sql.table import Table, Row
+from repro.sql.catalog import Database
+from repro.sql.errors import SqlError, ParseError, ExecutionError
+
+__all__ = ["Table", "Row", "Database", "SqlError", "ParseError", "ExecutionError"]

@@ -1,0 +1,101 @@
+"""Database facade: table catalog, UDF registry, query entry point.
+
+Mirrors the role of the Spark SQL session in the paper: external data
+sources register tables (the ``tsdb`` adapter, feature family tables,
+inventory/machine databases for metadata joins), users register UDFs such
+as ``hostgroup``, and intermediate results are saved as temporary tables
+tied to the interactive session.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sql.errors import SchemaError
+from repro.sql.executor import Executor
+from repro.sql.nodes import Node
+from repro.sql.optimizer import optimize
+from repro.sql.parser import parse
+from repro.sql.table import Table
+
+TableProvider = Callable[[], Table]
+
+
+class Database:
+    """A catalog of named tables plus UDFs, with a ``sql()`` entry point."""
+
+    def __init__(self, optimize_queries: bool = True) -> None:
+        self._tables: dict[str, Table] = {}
+        self._providers: dict[str, TableProvider] = {}
+        self._udfs: dict[str, Callable[..., Any]] = {}
+        self._optimize = optimize_queries
+
+    # ------------------------------------------------------------------
+    # Catalog management
+    # ------------------------------------------------------------------
+    def register(self, name: str, table: Table) -> None:
+        """Register (or replace) a materialised table."""
+        self._tables[name.lower()] = table
+        self._providers.pop(name.lower(), None)
+
+    def register_provider(self, name: str, provider: TableProvider) -> None:
+        """Register a lazy table provider (evaluated on first reference)."""
+        self._providers[name.lower()] = provider
+        self._tables.pop(name.lower(), None)
+
+    def register_udf(self, name: str, fn: Callable[..., Any]) -> None:
+        """Register a scalar user-defined function, e.g. ``hostgroup``."""
+        self._udfs[name.upper()] = fn
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog (no error if absent)."""
+        self._tables.pop(name.lower(), None)
+        self._providers.pop(name.lower(), None)
+
+    def table_names(self) -> list[str]:
+        """All registered table names, sorted."""
+        return sorted(set(self._tables) | set(self._providers))
+
+    def table(self, name: str) -> Table:
+        """Resolve a table by name, materialising lazy providers."""
+        key = name.lower()
+        if key in self._tables:
+            return self._tables[key]
+        provider = self._providers.get(key)
+        if provider is not None:
+            table = provider()
+            self._tables[key] = table
+            return table
+        raise SchemaError(
+            f"unknown table {name!r}; registered: {self.table_names()}"
+        )
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def sql(self, query: str) -> Table:
+        """Parse, optimise and execute one SQL statement."""
+        stmt = parse(query)
+        if self._optimize:
+            stmt = optimize(stmt)
+        return self.execute_ast(stmt)
+
+    def execute_ast(self, stmt: Node) -> Table:
+        """Execute an already-parsed statement."""
+        executor = Executor(self.table, self._udfs)
+        return executor.execute(stmt)
+
+    def create_temp_table(self, name: str, query: str) -> Table:
+        """Run a query and save its result under ``name`` (session temp table)."""
+        result = self.sql(query)
+        self.register(name, result)
+        return result
+
+    def explain(self, query: str) -> str:
+        """Render the logical plan that ``sql(query)`` would execute."""
+        from repro.sql.plan import explain as render_plan
+
+        stmt = parse(query)
+        if self._optimize:
+            stmt = optimize(stmt)
+        return render_plan(stmt)

@@ -1,0 +1,23 @@
+"""Error hierarchy for the SQL substrate."""
+
+
+class SqlError(Exception):
+    """Base class for all SQL engine errors."""
+
+
+class ParseError(SqlError):
+    """Raised when SQL text cannot be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class ExecutionError(SqlError):
+    """Raised when a parsed query cannot be evaluated."""
+
+
+class SchemaError(SqlError):
+    """Raised for unknown tables/columns or arity mismatches."""

@@ -1,0 +1,306 @@
+"""Built-in SQL functions: aggregates, scalars, and window functions.
+
+The scalar set covers everything in the paper's Appendix C listings
+(CONCAT, SPLIT, GREATEST, AVG, ...) plus the windowing/ranking helpers the
+paper lists as benefits of the SQL approach (LAG/LEAD for lagged features,
+PERCENTILE for p99-style indicators).  User-defined functions — the
+paper's ``hostgroup`` example — are registered on the
+:class:`~repro.sql.catalog.Database` and resolved through the same path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.sql.errors import ExecutionError
+
+
+# ---------------------------------------------------------------------------
+# Aggregates: each takes the list of evaluated argument values per group row
+# (NULLs already filtered except for COUNT(*)).
+# ---------------------------------------------------------------------------
+def _agg_avg(values: Sequence[float]) -> float | None:
+    return float(np.mean(values)) if values else None
+
+
+def _agg_sum(values: Sequence[float]) -> float | None:
+    return float(np.sum(values)) if values else None
+
+
+def _agg_min(values: Sequence[Any]) -> Any:
+    return min(values) if values else None
+
+
+def _agg_max(values: Sequence[Any]) -> Any:
+    return max(values) if values else None
+
+
+def _agg_count(values: Sequence[Any]) -> int:
+    return len(values)
+
+
+def _agg_stddev(values: Sequence[float]) -> float | None:
+    if len(values) < 2:
+        return None
+    return float(np.std(values, ddof=1))
+
+
+def _agg_variance(values: Sequence[float]) -> float | None:
+    if len(values) < 2:
+        return None
+    return float(np.var(values, ddof=1))
+
+
+def _agg_median(values: Sequence[float]) -> float | None:
+    return float(np.median(values)) if values else None
+
+
+def _agg_collect(values: Sequence[Any]) -> list:
+    return list(values)
+
+
+AGGREGATES: dict[str, Callable[[Sequence[Any]], Any]] = {
+    "AVG": _agg_avg,
+    "SUM": _agg_sum,
+    "MIN": _agg_min,
+    "MAX": _agg_max,
+    "COUNT": _agg_count,
+    "STDDEV": _agg_stddev,
+    "VARIANCE": _agg_variance,
+    "MEDIAN": _agg_median,
+    "COLLECT_LIST": _agg_collect,
+}
+
+# PERCENTILE(expr, p) is an aggregate with a parameter; handled specially.
+PARAMETRIC_AGGREGATES = frozenset({"PERCENTILE"})
+
+
+def percentile_aggregate(values: Sequence[float], fraction: float) -> float | None:
+    """PERCENTILE(values, fraction) with fraction in [0, 1]."""
+    if not values:
+        return None
+    if not 0.0 <= fraction <= 1.0:
+        raise ExecutionError(
+            f"PERCENTILE fraction must be in [0, 1], got {fraction}"
+        )
+    return float(np.percentile(values, fraction * 100.0))
+
+
+def is_aggregate(name: str) -> bool:
+    """True when ``name`` is a built-in aggregate function."""
+    return name in AGGREGATES or name in PARAMETRIC_AGGREGATES
+
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+def _require(args: Sequence[Any], count: int, name: str) -> None:
+    if len(args) != count:
+        raise ExecutionError(f"{name} expects {count} argument(s), got {len(args)}")
+
+
+def _scalar_concat(*args: Any) -> str | None:
+    if any(a is None for a in args):
+        return None
+    return "".join(str(a) for a in args)
+
+
+def _scalar_split(*args: Any) -> list[str] | None:
+    _require(args, 2, "SPLIT")
+    text, sep = args
+    if text is None:
+        return None
+    return str(text).split(str(sep))
+
+
+def _scalar_greatest(*args: Any) -> Any:
+    present = [a for a in args if a is not None]
+    return max(present) if present else None
+
+
+def _scalar_least(*args: Any) -> Any:
+    present = [a for a in args if a is not None]
+    return min(present) if present else None
+
+
+def _scalar_coalesce(*args: Any) -> Any:
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _numeric_unary(fn: Callable[[float], float], name: str):
+    def wrapper(*args: Any) -> float | None:
+        _require(args, 1, name)
+        if args[0] is None:
+            return None
+        try:
+            return float(fn(float(args[0])))
+        except (ValueError, OverflowError) as exc:
+            raise ExecutionError(f"{name}({args[0]!r}) failed: {exc}") from exc
+    return wrapper
+
+
+def _scalar_round(*args: Any) -> float | None:
+    if len(args) not in (1, 2):
+        raise ExecutionError("ROUND expects 1 or 2 arguments")
+    if args[0] is None:
+        return None
+    digits = int(args[1]) if len(args) == 2 and args[1] is not None else 0
+    return float(round(float(args[0]), digits))
+
+def _scalar_power(*args: Any) -> float | None:
+    _require(args, 2, "POWER")
+    if args[0] is None or args[1] is None:
+        return None
+    return float(math.pow(float(args[0]), float(args[1])))
+
+
+def _scalar_substr(*args: Any) -> str | None:
+    if len(args) not in (2, 3):
+        raise ExecutionError("SUBSTR expects 2 or 3 arguments")
+    text = args[0]
+    if text is None:
+        return None
+    text = str(text)
+    start = int(args[1])
+    # SQL SUBSTR is 1-based.
+    begin = start - 1 if start > 0 else max(len(text) + start, 0)
+    if len(args) == 3:
+        length = int(args[2])
+        return text[begin:begin + length]
+    return text[begin:]
+
+
+def _scalar_upper(*args: Any) -> str | None:
+    _require(args, 1, "UPPER")
+    return None if args[0] is None else str(args[0]).upper()
+
+
+def _scalar_lower(*args: Any) -> str | None:
+    _require(args, 1, "LOWER")
+    return None if args[0] is None else str(args[0]).lower()
+
+
+def _scalar_trim(*args: Any) -> str | None:
+    _require(args, 1, "TRIM")
+    return None if args[0] is None else str(args[0]).strip()
+
+
+def _scalar_length(*args: Any) -> int | None:
+    _require(args, 1, "LENGTH")
+    return None if args[0] is None else len(args[0])
+
+
+def _scalar_replace(*args: Any) -> str | None:
+    _require(args, 3, "REPLACE")
+    if args[0] is None:
+        return None
+    return str(args[0]).replace(str(args[1]), str(args[2]))
+
+
+def _scalar_if(*args: Any) -> Any:
+    _require(args, 3, "IF")
+    return args[1] if args[0] else args[2]
+
+
+def _scalar_nullif(*args: Any) -> Any:
+    _require(args, 2, "NULLIF")
+    return None if args[0] == args[1] else args[0]
+
+
+def _scalar_map(*args: Any) -> dict:
+    if len(args) % 2 != 0:
+        raise ExecutionError("MAP expects an even number of arguments")
+    return {str(args[i]): args[i + 1] for i in range(0, len(args), 2)}
+
+
+def _scalar_map_keys(*args: Any) -> list | None:
+    _require(args, 1, "MAP_KEYS")
+    if args[0] is None:
+        return None
+    if not isinstance(args[0], dict):
+        raise ExecutionError("MAP_KEYS expects a map argument")
+    return list(args[0].keys())
+
+
+def _scalar_map_values(*args: Any) -> list | None:
+    _require(args, 1, "MAP_VALUES")
+    if args[0] is None:
+        return None
+    if not isinstance(args[0], dict):
+        raise ExecutionError("MAP_VALUES expects a map argument")
+    return list(args[0].values())
+
+
+SCALARS: dict[str, Callable[..., Any]] = {
+    "CONCAT": _scalar_concat,
+    "SPLIT": _scalar_split,
+    "GREATEST": _scalar_greatest,
+    "LEAST": _scalar_least,
+    "COALESCE": _scalar_coalesce,
+    "ABS": _numeric_unary(abs, "ABS"),
+    "LOG": _numeric_unary(math.log, "LOG"),
+    "LOG10": _numeric_unary(math.log10, "LOG10"),
+    "LN": _numeric_unary(math.log, "LN"),
+    "EXP": _numeric_unary(math.exp, "EXP"),
+    "SQRT": _numeric_unary(math.sqrt, "SQRT"),
+    "FLOOR": _numeric_unary(math.floor, "FLOOR"),
+    "CEIL": _numeric_unary(math.ceil, "CEIL"),
+    "ROUND": _scalar_round,
+    "POWER": _scalar_power,
+    "SUBSTR": _scalar_substr,
+    "SUBSTRING": _scalar_substr,
+    "UPPER": _scalar_upper,
+    "LOWER": _scalar_lower,
+    "TRIM": _scalar_trim,
+    "LENGTH": _scalar_length,
+    "REPLACE": _scalar_replace,
+    "IF": _scalar_if,
+    "NULLIF": _scalar_nullif,
+    "MAP": _scalar_map,
+    "MAP_KEYS": _scalar_map_keys,
+    "MAP_VALUES": _scalar_map_values,
+}
+
+# Window functions computed over an ordered partition.
+WINDOW_FUNCTIONS = frozenset({"LAG", "LEAD", "ROW_NUMBER", "RANK", "MOVING_AVG"})
+
+
+def eval_window_function(name: str, arg_rows: list[tuple],
+                         order_index: int) -> Any:
+    """Evaluate one window function for the row at ``order_index``.
+
+    ``arg_rows`` holds the evaluated argument tuple for every row of the
+    (already ordered) partition.
+    """
+    if name == "ROW_NUMBER":
+        return order_index + 1
+    if name == "RANK" and (not arg_rows or not arg_rows[order_index]):
+        # Argument-free RANK: rank within the ordered partition.  Ties in
+        # the ORDER BY key are not collapsed (dense ordering).
+        return order_index + 1
+    args = arg_rows[order_index]
+    if name in ("LAG", "LEAD"):
+        offset = int(args[1]) if len(args) > 1 and args[1] is not None else 1
+        default = args[2] if len(args) > 2 else None
+        target = order_index - offset if name == "LAG" else order_index + offset
+        if 0 <= target < len(arg_rows):
+            return arg_rows[target][0]
+        return default
+    if name == "MOVING_AVG":
+        window = int(args[1]) if len(args) > 1 and args[1] is not None else 5
+        lo = max(0, order_index - window + 1)
+        values = [arg_rows[i][0] for i in range(lo, order_index + 1)
+                  if arg_rows[i][0] is not None]
+        return float(np.mean(values)) if values else None
+    if name == "RANK":
+        value = args[0]
+        better = sum(1 for row in arg_rows if row[0] is not None
+                     and value is not None and row[0] < value)
+        return better + 1
+    raise ExecutionError(f"unknown window function {name}")

@@ -1,0 +1,204 @@
+"""Logical query optimisation: predicate pushdown (§4.2's theme).
+
+"The declarative nature of the hypothesis query permits various
+optimisations that can be deferred to the runtime system."  Alongside the
+dense-array and broadcast-join optimisations, this module rewrites query
+ASTs before execution:
+
+- **Predicate pushdown** — WHERE conjuncts that reference a single side
+  of an INNER/CROSS join are pushed beneath the join, shrinking the
+  hashed/iterated inputs.  Pushing below outer joins would change NULL
+  semantics, so LEFT/RIGHT/FULL joins are left alone (except that the
+  *preserved* side of a LEFT join is safe, which we exploit).
+
+The rewrite is purely structural; executing the optimised AST must give
+exactly the rows of the original (property-tested).
+"""
+
+from __future__ import annotations
+
+from repro.sql.nodes import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Join,
+    Node,
+    Select,
+    SelectItem,
+    Star,
+    SubqueryRef,
+    TableRef,
+    Union,
+    walk,
+)
+from repro.sql.functions import is_aggregate
+
+
+def optimize(stmt: Node) -> Node:
+    """Apply all rewrites bottom-up; safe on any statement node."""
+    if isinstance(stmt, Union):
+        return Union(left=optimize(stmt.left), right=optimize(stmt.right),
+                     all=stmt.all, order_by=stmt.order_by,
+                     limit=stmt.limit)
+    if isinstance(stmt, Select):
+        return _optimize_select(stmt)
+    return stmt
+
+
+def _optimize_select(stmt: Select) -> Select:
+    source = _optimize_source(stmt.source)
+    stmt = Select(items=stmt.items, source=source, where=stmt.where,
+                  group_by=stmt.group_by, having=stmt.having,
+                  order_by=stmt.order_by, limit=stmt.limit,
+                  offset=stmt.offset, distinct=stmt.distinct)
+    if stmt.where is None or not isinstance(stmt.source, Join):
+        return stmt
+    conjuncts = _flatten_and(stmt.where)
+    remaining: list[Node] = []
+    pushed: dict[str, list[Node]] = {}
+    qualifier_sides = _qualifier_map(stmt.source)
+    for conjunct in conjuncts:
+        side = _sole_side(conjunct, qualifier_sides)
+        if side is None or _has_aggregate_or_window(conjunct):
+            remaining.append(conjunct)
+        else:
+            pushed.setdefault(side, []).append(conjunct)
+    if not pushed:
+        return stmt
+    new_source = _push_into(stmt.source, pushed)
+    new_where = _conjoin(remaining)
+    return Select(items=stmt.items, source=new_source, where=new_where,
+                  group_by=stmt.group_by, having=stmt.having,
+                  order_by=stmt.order_by, limit=stmt.limit,
+                  offset=stmt.offset, distinct=stmt.distinct)
+
+
+def _optimize_source(source: Node | None) -> Node | None:
+    if isinstance(source, SubqueryRef):
+        return SubqueryRef(query=optimize(source.query),
+                           alias=source.alias)
+    if isinstance(source, Join):
+        return Join(kind=source.kind,
+                    left=_optimize_source(source.left),
+                    right=_optimize_source(source.right),
+                    condition=source.condition)
+    return source
+
+
+def _qualifier_map(source: Node) -> dict[str, str]:
+    """Map table qualifiers to leaf identifiers ('alias' -> leaf key)."""
+    mapping: dict[str, str] = {}
+
+    def visit(node: Node, pushable: bool) -> None:
+        if isinstance(node, TableRef):
+            key = node.alias or node.name
+            mapping[key.lower()] = key.lower() if pushable else ""
+        elif isinstance(node, SubqueryRef):
+            if node.alias:
+                mapping[node.alias.lower()] = (node.alias.lower()
+                                               if pushable else "")
+        elif isinstance(node, Join):
+            left_ok = pushable and node.kind in ("INNER", "CROSS", "LEFT")
+            right_ok = pushable and node.kind in ("INNER", "CROSS")
+            visit(node.left, left_ok)
+            visit(node.right, right_ok)
+
+    visit(source, True)
+    return mapping
+
+
+def _sole_side(conjunct: Node, qualifier_sides: dict[str, str]
+               ) -> str | None:
+    """The single pushable leaf a conjunct references, or None."""
+    sides: set[str] = set()
+    for node in walk(conjunct):
+        if isinstance(node, ColumnRef):
+            if node.table is None:
+                return None          # unqualified: cannot attribute safely
+            side = qualifier_sides.get(node.table.lower())
+            if not side:
+                return None          # unknown alias or non-pushable leaf
+            sides.add(side)
+    if len(sides) == 1:
+        return next(iter(sides))
+    return None
+
+
+def _push_into(source: Node, pushed: dict[str, list[Node]]) -> Node:
+    """Wrap targeted leaves in filtering subqueries."""
+    if isinstance(source, Join):
+        return Join(kind=source.kind,
+                    left=_push_into(source.left, pushed),
+                    right=_push_into(source.right, pushed),
+                    condition=source.condition)
+    key = None
+    if isinstance(source, TableRef):
+        key = (source.alias or source.name).lower()
+    elif isinstance(source, SubqueryRef) and source.alias:
+        key = source.alias.lower()
+    if key is None or key not in pushed:
+        return source
+    alias = (source.alias if isinstance(source, (TableRef, SubqueryRef))
+             else None) or (source.name if isinstance(source, TableRef)
+                            else None)
+    predicate = _conjoin(_strip_qualifiers(pushed[key], alias))
+    inner = Select(items=(SelectItem(expr=Star()),),
+                   source=_as_unaliased(source), where=predicate)
+    return SubqueryRef(query=inner, alias=alias)
+
+
+def _as_unaliased(source: Node) -> Node:
+    """The leaf with its alias kept (the inner select scopes it)."""
+    if isinstance(source, TableRef):
+        return TableRef(name=source.name, alias=source.alias)
+    return source
+
+
+def _strip_qualifiers(conjuncts: list[Node], alias: str | None
+                      ) -> list[Node]:
+    """Qualified refs keep working inside the wrapping subquery because
+    the leaf retains its alias; no rewrite needed."""
+    return conjuncts
+
+
+def _flatten_and(node: Node) -> list[Node]:
+    if isinstance(node, BinaryOp) and node.op == "AND":
+        return _flatten_and(node.left) + _flatten_and(node.right)
+    return [node]
+
+
+def _conjoin(conjuncts: list[Node]) -> Node | None:
+    result: Node | None = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else BinaryOp(
+            op="AND", left=result, right=conjunct)
+    return result
+
+
+def _has_aggregate_or_window(node: Node) -> bool:
+    return any(isinstance(sub, FuncCall)
+               and (sub.window is not None or is_aggregate(sub.name))
+               for sub in walk(node))
+
+
+def count_pushed_filters(stmt: Node) -> int:
+    """Number of filtering subqueries introduced (for tests/inspection)."""
+    count = 0
+    nodes = [stmt]
+    while nodes:
+        node = nodes.pop()
+        if isinstance(node, SubqueryRef):
+            inner = node.query
+            if isinstance(inner, Select) and inner.where is not None \
+                    and len(inner.items) == 1 \
+                    and isinstance(inner.items[0].expr, Star):
+                count += 1
+            nodes.append(inner)
+        elif isinstance(node, Select):
+            if node.source is not None:
+                nodes.append(node.source)
+        elif isinstance(node, Join):
+            nodes.extend([node.left, node.right])
+        elif isinstance(node, Union):
+            nodes.extend([node.left, node.right])
+    return count

@@ -1,0 +1,194 @@
+"""Relational table model for the SQL substrate.
+
+A :class:`Table` has named columns and rows of Python values.  Cells may be
+``None`` (SQL NULL), numbers, strings, lists (the result of ``SPLIT``), or
+dictionaries — the ``tag`` map column of the paper's ``tsdb`` table and the
+``v`` map of the Feature Family Table (Figure 4) are dict-valued cells
+accessed with ``tag['pipeline_name']`` subscripts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.sql.errors import SchemaError
+
+Row = tuple
+
+_MISSING = object()
+
+
+class Table:
+    """An ordered bag of rows with named columns."""
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]] = ()):
+        self.columns: list[str] = list(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate column names: {self.columns}")
+        self.rows: list[Row] = []
+        width = len(self.columns)
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != width:
+                raise SchemaError(
+                    f"row width {len(tup)} does not match {width} columns"
+                )
+            self.rows.append(tup)
+        self._index: dict[str, int] = {c: i for i, c in enumerate(self.columns)}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(cls, records: Iterable[Mapping[str, Any]],
+                   columns: Sequence[str] | None = None) -> "Table":
+        """Build a table from mapping records; missing keys become NULL."""
+        records = list(records)
+        if columns is None:
+            seen: dict[str, None] = {}
+            for record in records:
+                for key in record:
+                    seen.setdefault(key, None)
+            columns = list(seen)
+        rows = [tuple(record.get(col) for col in columns) for record in records]
+        return cls(columns, rows)
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Table":
+        """An empty table with the given schema."""
+        return cls(columns, [])
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+    def __repr__(self) -> str:
+        return f"Table(columns={self.columns}, rows={len(self.rows)})"
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def column_index(self, name: str) -> int:
+        """Index of a column by name (case-sensitive, then -insensitive)."""
+        idx = self._index.get(name)
+        if idx is not None:
+            return idx
+        lowered = name.lower()
+        matches = [i for i, c in enumerate(self.columns) if c.lower() == lowered]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise SchemaError(f"ambiguous column {name!r}")
+        raise SchemaError(
+            f"unknown column {name!r}; available: {self.columns}"
+        )
+
+    def column(self, name: str) -> list[Any]:
+        """Return all values of one column as a list."""
+        idx = self.column_index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by column names."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # Relational helpers used by the executor and by library code
+    # ------------------------------------------------------------------
+    def select_columns(self, names: Sequence[str]) -> "Table":
+        """Project onto a subset of columns."""
+        indexes = [self.column_index(n) for n in names]
+        rows = [tuple(row[i] for i in indexes) for row in self.rows]
+        return Table(list(names), rows)
+
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Keep rows where ``predicate(row_dict)`` is true."""
+        kept = [row for row in self.rows
+                if predicate(dict(zip(self.columns, row)))]
+        return Table(self.columns, kept)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Return a copy with some columns renamed."""
+        columns = [mapping.get(c, c) for c in self.columns]
+        return Table(columns, self.rows)
+
+    def prefixed(self, prefix: str) -> "Table":
+        """Return a copy with every column prefixed (``alias.column``)."""
+        return Table([f"{prefix}.{c}" for c in self.columns], self.rows)
+
+    def union_all(self, other: "Table") -> "Table":
+        """Concatenate rows; schemas are matched by position.
+
+        Mirrors Spark SQL's UNION semantics used in listing 5: the paper
+        unions feature-family tables that share the normalised schema.
+        """
+        if len(other.columns) != len(self.columns):
+            raise SchemaError(
+                f"UNION arity mismatch: {len(self.columns)} vs {len(other.columns)}"
+            )
+        return Table(self.columns, self.rows + other.rows)
+
+    def distinct(self) -> "Table":
+        """Remove duplicate rows (order of first occurrence preserved)."""
+        seen: set = set()
+        out: list[Row] = []
+        for row in self.rows:
+            key = _hashable_row(row)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+        return Table(self.columns, out)
+
+    def sorted_by(self, key: Callable[[Row], Any], reverse: bool = False) -> "Table":
+        """Stable sort by a row-key function."""
+        return Table(self.columns, sorted(self.rows, key=key, reverse=reverse))
+
+    def limit(self, n: int) -> "Table":
+        """First ``n`` rows."""
+        return Table(self.columns, self.rows[:n])
+
+    def head_text(self, n: int = 10, max_width: int = 24) -> str:
+        """Simple fixed-width text rendering for examples and debugging."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                text = f"{value:.4g}"
+            else:
+                text = str(value)
+            if len(text) > max_width:
+                text = text[: max_width - 1] + "…"
+            return text
+
+        shown = self.rows[:n]
+        cells = [[fmt(c) for c in self.columns]]
+        cells.extend([fmt(v) for v in row] for row in shown)
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.columns))]
+        lines = []
+        for r_i, row in enumerate(cells):
+            line = "  ".join(v.ljust(widths[i]) for i, v in enumerate(row))
+            lines.append(line.rstrip())
+            if r_i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        if len(self.rows) > n:
+            lines.append(f"... ({len(self.rows)} rows total)")
+        return "\n".join(lines)
+
+
+def _hashable_row(row: Row) -> tuple:
+    """Convert a row to a hashable key (dicts/lists become tuples)."""
+    def conv(value: Any) -> Any:
+        if isinstance(value, dict):
+            return tuple(sorted((k, conv(v)) for k, v in value.items()))
+        if isinstance(value, (list, tuple)):
+            return tuple(conv(v) for v in value)
+        return value
+    return tuple(conv(v) for v in row)

@@ -1,0 +1,33 @@
+"""In-memory time series database substrate (OpenTSDB-like).
+
+The paper's deployments ingest per-minute observations tagged with key-value
+attributes (``flow{src=datanode-1, dest=datanode-2}`` etc.) into OpenTSDB or
+Druid.  This package provides the equivalent substrate for the reproduction:
+
+- :mod:`repro.tsdb.model` — the data model: :class:`~repro.tsdb.model.SeriesId`
+  (metric name + tag map) and :class:`~repro.tsdb.model.DataPoint`.
+- :mod:`repro.tsdb.storage` — :class:`~repro.tsdb.storage.TimeSeriesStore`, a
+  columnar in-memory store with inverted indexes on metric names and tags.
+- :mod:`repro.tsdb.query` — scan, filter, downsample and aggregation helpers.
+- :mod:`repro.tsdb.ingest` — a line-protocol parser for bulk loading.
+- :mod:`repro.tsdb.adapter` — exposes the store as the relational ``tsdb``
+  table used by the paper's SQL listings (Appendix C).
+"""
+
+from repro.tsdb.model import DataPoint, SeriesId, parse_series_expr
+from repro.tsdb.storage import TimeSeriesStore
+from repro.tsdb.query import Downsampler, ScanQuery
+from repro.tsdb.ingest import parse_line, load_lines
+from repro.tsdb.adapter import tsdb_table
+
+__all__ = [
+    "DataPoint",
+    "SeriesId",
+    "parse_series_expr",
+    "TimeSeriesStore",
+    "Downsampler",
+    "ScanQuery",
+    "parse_line",
+    "load_lines",
+    "tsdb_table",
+]

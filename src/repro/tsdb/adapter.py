@@ -1,0 +1,38 @@
+"""Expose a :class:`TimeSeriesStore` as the paper's relational ``tsdb`` table.
+
+Appendix C's listings query a table with the schema::
+
+    tsdb(timestamp: int, metric_name: string, tag: map<string,string>,
+         value: double)
+
+one row per observation.  :func:`tsdb_table` materialises that table from a
+store; :func:`register_store` attaches it to a :class:`~repro.sql.Database`
+as a lazy provider so the conversion happens on first query.
+"""
+
+from __future__ import annotations
+
+from repro.sql.table import Table
+from repro.tsdb.storage import TimeSeriesStore
+
+TSDB_COLUMNS = ["timestamp", "metric_name", "tag", "value"]
+
+
+def tsdb_table(store: TimeSeriesStore,
+               start: int | None = None,
+               end: int | None = None) -> Table:
+    """Materialise the relational view of a store (optionally time-clipped)."""
+    rows = []
+    for series in store.series_ids():
+        tags = series.tag_map()
+        ts, values = store.arrays(series, start, end)
+        name = series.name
+        for t, v in zip(ts.tolist(), values.tolist()):
+            rows.append((int(t), name, tags, float(v)))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    return Table(TSDB_COLUMNS, rows)
+
+
+def register_store(db, store: TimeSeriesStore, name: str = "tsdb") -> None:
+    """Register a store on a Database as a lazily-materialised table."""
+    db.register_provider(name, lambda: tsdb_table(store))

@@ -1,0 +1,61 @@
+"""Line-protocol ingest for the time series store.
+
+Accepts the observation format used in section 2 of the paper::
+
+    <timestamp> <metric>{key=value,...} <measurement>=<number> ...
+
+e.g. ``0 flow{src=datanode-1,dest=datanode-2} bytecount=1000 packetcount=10``
+creates one series per measurement, with the measurement key appended to
+the metric name (``flow.bytecount`` etc.), matching how OpenTSDB flattens
+multi-measurement events.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.tsdb.model import DataPoint, SeriesFormatError, SeriesId, parse_series_expr
+from repro.tsdb.storage import TimeSeriesStore
+
+
+def parse_line(line: str) -> list[DataPoint]:
+    """Parse one ingest line into data points (one per measurement)."""
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return []
+    parts = text.split()
+    if len(parts) < 3:
+        raise SeriesFormatError(
+            f"expected '<ts> <metric>{{tags}}' and at least one measurement: {line!r}"
+        )
+    try:
+        timestamp = int(parts[0])
+    except ValueError:
+        raise SeriesFormatError(f"bad timestamp in line: {line!r}") from None
+    name, tags = parse_series_expr(parts[1])
+    points: list[DataPoint] = []
+    for item in parts[2:]:
+        if "=" not in item:
+            raise SeriesFormatError(
+                f"measurement {item!r} is not key=value in line: {line!r}"
+            )
+        key, _, raw = item.partition("=")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise SeriesFormatError(
+                f"measurement value {raw!r} is not numeric in line: {line!r}"
+            ) from None
+        series = SeriesId.make(f"{name}.{key}", tags)
+        points.append(DataPoint(series=series, timestamp=timestamp, value=value))
+    return points
+
+
+def load_lines(store: TimeSeriesStore, lines: Iterable[str]) -> int:
+    """Parse and insert many lines; returns the number of points loaded."""
+    count = 0
+    for line in lines:
+        for point in parse_line(line):
+            store.insert_point(point)
+            count += 1
+    return count

@@ -1,0 +1,193 @@
+"""Data model for the time series store.
+
+A *metric* in the paper is a one-dimensional time series identified by a
+metric name plus a set of key-value tags::
+
+    timestamp=0
+    flow{src=datanode-1, dest=datanode-2, srcport=100, destport=200}
+    bytecount=1000
+
+Multi-measurement observations (bytecount, packetcount, retransmits in one
+event) are modelled as one series per measurement, which matches how
+OpenTSDB flattens them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+_SERIES_EXPR_RE = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][\w.\-/]*)\s*(?:\{(?P<tags>[^}]*)\})?\s*$"
+)
+
+
+class TsdbError(Exception):
+    """Base error for the tsdb substrate."""
+
+
+class SeriesFormatError(TsdbError):
+    """Raised when a series expression or ingest line cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class SeriesId:
+    """Identity of a univariate series: metric name + sorted tag pairs.
+
+    Instances are hashable so they can key dictionaries and sets; tags are
+    stored as a sorted tuple of ``(key, value)`` pairs to make equality
+    independent of insertion order.
+    """
+
+    name: str
+    tags: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, tags: Mapping[str, str] | None = None) -> "SeriesId":
+        """Build a :class:`SeriesId` from a name and an optional tag mapping."""
+        if not name:
+            raise SeriesFormatError("metric name must be non-empty")
+        pairs = tuple(sorted((str(k), str(v)) for k, v in (tags or {}).items()))
+        return cls(name=name, tags=pairs)
+
+    def tag_map(self) -> dict[str, str]:
+        """Return the tags as a plain dictionary."""
+        return dict(self.tags)
+
+    def tag(self, key: str, default: str | None = None) -> str | None:
+        """Return one tag value, or ``default`` when the key is absent."""
+        for k, v in self.tags:
+            if k == key:
+                return v
+        return default
+
+    def with_tags(self, **extra: str) -> "SeriesId":
+        """Return a copy with additional/overridden tags."""
+        merged = self.tag_map()
+        merged.update({k: str(v) for k, v in extra.items()})
+        return SeriesId.make(self.name, merged)
+
+    def matches(self, name: str | None = None,
+                tags: Mapping[str, str] | None = None) -> bool:
+        """Glob-style match against a name pattern and tag filters.
+
+        ``*`` in either the name or a tag value matches any run of
+        characters, mirroring the paper's ``disk{host=datanode*}`` grouping
+        expressions (section 3.2).
+        """
+        if name is not None and not _glob_match(name, self.name):
+            return False
+        if tags:
+            own = self.tag_map()
+            for key, pattern in tags.items():
+                value = own.get(key)
+                if value is None or not _glob_match(str(pattern), value):
+                    return False
+        return True
+
+    def __str__(self) -> str:
+        if not self.tags:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.tags)
+        return f"{self.name}{{{inner}}}"
+
+
+@dataclass(frozen=True)
+class DataPoint:
+    """A single observation of a series at a timestamp (epoch minutes)."""
+
+    series: SeriesId
+    timestamp: int
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise SeriesFormatError(
+                f"timestamp must be non-negative, got {self.timestamp}"
+            )
+
+
+@dataclass
+class SeriesData:
+    """Dense view of one series: parallel timestamp/value arrays."""
+
+    series: SeriesId
+    timestamps: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def append(self, timestamp: int, value: float) -> None:
+        """Append one point; timestamps must be non-decreasing."""
+        if self.timestamps and timestamp < self.timestamps[-1]:
+            raise SeriesFormatError(
+                f"out-of-order append to {self.series}: "
+                f"{timestamp} < {self.timestamps[-1]}"
+            )
+        self.timestamps.append(timestamp)
+        self.values.append(float(value))
+
+
+def parse_series_expr(expr: str) -> tuple[str, dict[str, str]]:
+    """Parse ``name{key=value,...}`` into ``(name, tags)``.
+
+    >>> parse_series_expr("disk{host=datanode-1, type=read_latency}")
+    ('disk', {'host': 'datanode-1', 'type': 'read_latency'})
+    >>> parse_series_expr("runtime")
+    ('runtime', {})
+    """
+    match = _SERIES_EXPR_RE.match(expr)
+    if match is None:
+        raise SeriesFormatError(f"cannot parse series expression: {expr!r}")
+    name = match.group("name")
+    raw_tags = match.group("tags")
+    tags: dict[str, str] = {}
+    if raw_tags:
+        for part in raw_tags.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise SeriesFormatError(
+                    f"tag {part!r} in {expr!r} is not key=value"
+                )
+            key, _, value = part.partition("=")
+            tags[key.strip()] = value.strip()
+    return name, tags
+
+
+def _glob_match(pattern: str, value: str) -> bool:
+    """Match ``value`` against a glob ``pattern`` where ``*`` is a wildcard."""
+    if "*" not in pattern:
+        return pattern == value
+    regex = "^" + ".*".join(re.escape(p) for p in pattern.split("*")) + "$"
+    return re.match(regex, value) is not None
+
+
+def series_sort_key(series: SeriesId) -> tuple:
+    """Stable ordering used by scans: by name, then tag pairs."""
+    return (series.name, series.tags)
+
+
+def group_key_by_name(series: SeriesId) -> str:
+    """Grouping key used for the paper's default name-based families."""
+    return series.name
+
+
+def group_key_by_tag(key: str):
+    """Return a grouping function keyed on one tag (``host`` etc.).
+
+    Series missing the tag fall into the ``"NULL"`` family, mirroring the
+    ``*{host=NULL}`` family in section 3.2.
+    """
+    def _key(series: SeriesId) -> str:
+        return series.tag(key) or "NULL"
+    return _key
+
+
+def unique_names(series: Iterable[SeriesId]) -> list[str]:
+    """Sorted list of distinct metric names in a collection of series."""
+    return sorted({s.name for s in series})

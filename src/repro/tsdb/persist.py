@@ -1,0 +1,96 @@
+"""Store persistence: text snapshots in the ingest line protocol.
+
+The reproduction keeps everything in memory, but scenarios and benchmark
+traces are worth saving/reloading — and using the ingest protocol as the
+on-disk format means a snapshot is also a valid bulk-load file for any
+other tsdb-protocol consumer.
+
+The format groups multi-measurement series back into one line per
+(timestamp, base metric, tag set) where possible; series whose names
+carry no ``.measurement`` suffix serialise with a synthetic ``value``
+measurement key.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.tsdb.ingest import load_lines
+from repro.tsdb.model import SeriesId
+from repro.tsdb.storage import TimeSeriesStore
+
+_SNAPSHOT_HEADER = "# repro-tsdb-snapshot v1"
+
+
+def dump_store(store: TimeSeriesStore, target: TextIO) -> int:
+    """Write a snapshot; returns the number of lines written."""
+    target.write(_SNAPSHOT_HEADER + "\n")
+    # Group series by (base name, tags) so sibling measurements share lines.
+    grouped: dict[tuple[str, tuple], dict[str, SeriesId]] = {}
+    for series in store.series_ids():
+        base, _, measurement = series.name.rpartition(".")
+        if not base:
+            base, measurement = series.name, "value"
+        grouped.setdefault((base, series.tags), {})[measurement] = series
+    lines = 0
+    for (base, tags), measurements in sorted(grouped.items()):
+        tag_text = ",".join(f"{k}={v}" for k, v in tags)
+        metric = f"{base}{{{tag_text}}}" if tag_text else base
+        # Collect the union of timestamps across sibling measurements.
+        by_ts: dict[int, list[str]] = {}
+        for key in sorted(measurements):
+            ts_arr, values = store.arrays(measurements[key])
+            for t, v in zip(ts_arr.tolist(), values.tolist()):
+                by_ts.setdefault(int(t), []).append(f"{key}={v!r}")
+        for t in sorted(by_ts):
+            target.write(f"{t} {metric} {' '.join(by_ts[t])}\n")
+            lines += 1
+    return lines
+
+
+def dumps_store(store: TimeSeriesStore) -> str:
+    """Snapshot to a string."""
+    buffer = io.StringIO()
+    dump_store(store, buffer)
+    return buffer.getvalue()
+
+
+def load_store(source: TextIO) -> TimeSeriesStore:
+    """Rebuild a store from a snapshot (or any ingest-protocol text).
+
+    The synthetic ``value`` measurement key added by :func:`dump_store`
+    for suffix-less metrics is stripped again, so dump -> load is an
+    identity on series names.
+    """
+    raw = TimeSeriesStore()
+    load_lines(raw, source)
+    store = TimeSeriesStore()
+    for series in raw.series_ids():
+        name = series.name
+        if name.endswith(".value"):
+            name = name[: -len(".value")]
+        column = raw.get(series)
+        store.insert_array(SeriesId.make(name, series.tag_map()),
+                           column.timestamps, column.values)
+    return store
+
+
+def loads_store(text: str) -> TimeSeriesStore:
+    """Rebuild a store from snapshot text."""
+    return load_store(io.StringIO(text))
+
+
+def save_store(store: TimeSeriesStore, path: str | Path) -> int:
+    """Write a snapshot file; returns lines written."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        return dump_store(store, handle)
+
+
+def read_store(path: str | Path) -> TimeSeriesStore:
+    """Load a snapshot file."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return load_store(handle)

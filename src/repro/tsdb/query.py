@@ -1,0 +1,174 @@
+"""Scan, downsample, and aggregation queries over the store.
+
+These mirror the query primitives ExplainIt!'s connectors relied on from
+OpenTSDB: select series by metric/tags, align them on a regular grid,
+downsample with an aggregator, and interpolate missing observations
+("Missing values in the time series are interpolated to the closest
+non-null observation", Appendix C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.tsdb.model import SeriesFormatError, SeriesId
+from repro.tsdb.storage import TimeSeriesStore
+
+
+_AGGREGATORS: dict[str, Callable[[np.ndarray], float]] = {
+    "avg": lambda a: float(np.mean(a)),
+    "sum": lambda a: float(np.sum(a)),
+    "min": lambda a: float(np.min(a)),
+    "max": lambda a: float(np.max(a)),
+    "count": lambda a: float(a.size),
+    "median": lambda a: float(np.median(a)),
+    "p95": lambda a: float(np.percentile(a, 95)),
+    "p99": lambda a: float(np.percentile(a, 99)),
+}
+
+
+def aggregator(name: str) -> Callable[[np.ndarray], float]:
+    """Look up a named aggregator (avg, sum, min, max, count, median, p95, p99)."""
+    try:
+        return _AGGREGATORS[name.lower()]
+    except KeyError:
+        raise SeriesFormatError(
+            f"unknown aggregator {name!r}; choose from {sorted(_AGGREGATORS)}"
+        ) from None
+
+
+@dataclass
+class Downsampler:
+    """Bucket observations into fixed-width windows and aggregate each.
+
+    ``interval`` is in the same (epoch-minute) units as the store; the
+    bucket label is the left edge of the window.
+    """
+
+    interval: int = 1
+    agg: str = "avg"
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise SeriesFormatError("downsample interval must be positive")
+        self._fn = aggregator(self.agg)
+
+    def apply(self, timestamps: np.ndarray,
+              values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return downsampled (timestamps, values) arrays."""
+        if timestamps.size == 0:
+            return timestamps.copy(), values.copy()
+        buckets = (timestamps // self.interval) * self.interval
+        out_ts: list[int] = []
+        out_vals: list[float] = []
+        start = 0
+        for idx in range(1, buckets.size + 1):
+            if idx == buckets.size or buckets[idx] != buckets[start]:
+                out_ts.append(int(buckets[start]))
+                out_vals.append(self._fn(values[start:idx]))
+                start = idx
+        return np.asarray(out_ts, dtype=np.int64), np.asarray(out_vals)
+
+
+def align_to_grid(timestamps: np.ndarray, values: np.ndarray,
+                  grid: np.ndarray) -> np.ndarray:
+    """Align a series onto a regular grid, interpolating missing points.
+
+    Values at grid points not present in ``timestamps`` are filled from the
+    nearest observed neighbour (ties go to the earlier point), matching the
+    paper's closest-non-null interpolation policy.  Grid points outside the
+    observed range take the first/last observed value.
+    """
+    if timestamps.size == 0:
+        return np.full(grid.shape, np.nan)
+    # Index of the first observation >= each grid point.
+    right = np.searchsorted(timestamps, grid, side="left")
+    right = np.clip(right, 0, timestamps.size - 1)
+    left = np.clip(right - 1, 0, timestamps.size - 1)
+    dist_right = np.abs(timestamps[right] - grid)
+    dist_left = np.abs(grid - timestamps[left])
+    take_left = dist_left <= dist_right
+    chosen = np.where(take_left, left, right)
+    return values[chosen].astype(np.float64)
+
+
+@dataclass
+class ScanQuery:
+    """Declarative scan: metric/tag filters, a time range, and downsampling.
+
+    Example
+    -------
+    >>> query = ScanQuery(name="disk", tags={"host": "datanode*"},
+    ...                   start=0, end=1440, downsample=Downsampler(5, "avg"))
+    >>> result = query.run(store)                        # doctest: +SKIP
+    """
+
+    name: str | None = None
+    tags: Mapping[str, str] | None = None
+    start: int | None = None
+    end: int | None = None
+    downsample: Downsampler | None = None
+    series_ids: Sequence[SeriesId] | None = None
+
+    def run(self, store: TimeSeriesStore) -> "ScanResult":
+        """Execute the scan against a store."""
+        if self.series_ids is not None:
+            matched = list(self.series_ids)
+        else:
+            matched = store.find(self.name, self.tags)
+        columns: dict[SeriesId, tuple[np.ndarray, np.ndarray]] = {}
+        for series in matched:
+            ts, vals = store.arrays(series, self.start, self.end)
+            if self.downsample is not None:
+                ts, vals = self.downsample.apply(ts, vals)
+            columns[series] = (ts, vals)
+        return ScanResult(columns=columns)
+
+
+@dataclass
+class ScanResult:
+    """Result of a scan: per-series column pairs plus matrix conversion."""
+
+    columns: dict[SeriesId, tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict
+    )
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def series_ids(self) -> list[SeriesId]:
+        """Series ids in the result, in stable order."""
+        return list(self.columns)
+
+    def grid(self, interval: int = 1) -> np.ndarray:
+        """Common regular grid spanning all series in the result."""
+        lo: int | None = None
+        hi: int | None = None
+        for ts, _ in self.columns.values():
+            if ts.size == 0:
+                continue
+            lo = int(ts[0]) if lo is None else min(lo, int(ts[0]))
+            hi = int(ts[-1]) if hi is None else max(hi, int(ts[-1]))
+        if lo is None or hi is None:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(lo, hi + 1, interval, dtype=np.int64)
+
+    def to_matrix(self, grid: np.ndarray | None = None,
+                  interval: int = 1) -> tuple[np.ndarray, list[SeriesId], np.ndarray]:
+        """Materialise a dense ``T x F`` matrix aligned on a common grid.
+
+        Returns ``(matrix, series_ids, grid)``.  This is the "dense arrays"
+        optimisation of section 4.2: downstream scoring operates on
+        row-major numpy matrices rather than per-point records.
+        """
+        if grid is None:
+            grid = self.grid(interval)
+        ids = self.series_ids()
+        matrix = np.empty((grid.size, len(ids)), dtype=np.float64, order="C")
+        for j, series in enumerate(ids):
+            ts, vals = self.columns[series]
+            matrix[:, j] = align_to_grid(ts, vals, grid)
+        return matrix, ids, grid

@@ -1,0 +1,97 @@
+"""Materialised rollups: pre-aggregated views of expensive queries.
+
+Appendix C: "Commonly used feature family aggregates (such as 99th
+percentile latency) can be made available as materialised views to avoid
+expensive aggregations."  A :class:`RollupCatalog` maintains named
+downsampled/aggregated views over a store, invalidating them when the
+store grows, and can register each view as a SQL table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.sql.table import Table
+from repro.tsdb.model import SeriesFormatError
+from repro.tsdb.query import Downsampler, ScanQuery
+from repro.tsdb.storage import TimeSeriesStore
+
+
+@dataclass(frozen=True)
+class RollupSpec:
+    """Definition of one rollup view."""
+
+    name: str
+    interval: int
+    agg: str = "avg"
+    metric: str | None = None
+    tags: Mapping[str, str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise SeriesFormatError("rollup interval must be positive")
+        Downsampler(self.interval, self.agg)   # validates the aggregator
+
+
+class RollupCatalog:
+    """Named, cached, invalidation-aware rollup views over one store."""
+
+    def __init__(self, store: TimeSeriesStore) -> None:
+        self._store = store
+        self._specs: dict[str, RollupSpec] = {}
+        self._cache: dict[str, tuple[int, Table]] = {}
+
+    def define(self, spec: RollupSpec) -> None:
+        """Register (or replace) a rollup definition."""
+        self._specs[spec.name] = spec
+        self._cache.pop(spec.name, None)
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def table(self, name: str) -> Table:
+        """Materialise (or fetch the cached) rollup table.
+
+        Schema: ``(timestamp, metric_name, tag, value)`` like the raw
+        tsdb adapter, but at the rollup's granularity.  The cache key is
+        the store's point count, so appends invalidate stale views.
+        """
+        spec = self._specs.get(name)
+        if spec is None:
+            raise SeriesFormatError(
+                f"unknown rollup {name!r}; defined: {self.names()}"
+            )
+        version = self._store.num_points()
+        cached = self._cache.get(name)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        table = self._materialise(spec)
+        self._cache[name] = (version, table)
+        return table
+
+    def is_cached(self, name: str) -> bool:
+        """True when the rollup is materialised and current."""
+        cached = self._cache.get(name)
+        return (cached is not None
+                and cached[0] == self._store.num_points())
+
+    def _materialise(self, spec: RollupSpec) -> Table:
+        query = ScanQuery(
+            name=spec.metric,
+            tags=spec.tags,
+            downsample=Downsampler(spec.interval, spec.agg),
+        )
+        result = query.run(self._store)
+        rows = []
+        for series, (ts_arr, values) in result.columns.items():
+            tags = series.tag_map()
+            for t, v in zip(ts_arr.tolist(), values.tolist()):
+                rows.append((int(t), series.name, tags, float(v)))
+        rows.sort(key=lambda r: (r[0], r[1]))
+        return Table(["timestamp", "metric_name", "tag", "value"], rows)
+
+    def register_all(self, db) -> None:
+        """Expose every rollup as a lazily-materialised SQL table."""
+        for name in self.names():
+            db.register_provider(name, lambda n=name: self.table(n))

@@ -1,0 +1,207 @@
+"""Columnar in-memory time series store with inverted tag indexes.
+
+The store keeps one dense column pair (timestamps, values) per series and
+maintains two inverted indexes — metric name -> series ids and
+``(tag key, tag value)`` -> series ids — so that scans touch only matching
+series.  This mirrors how OpenTSDB resolves a metric + tag filter to a set
+of row keys before reading data.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.tsdb.model import (
+    DataPoint,
+    SeriesData,
+    SeriesFormatError,
+    SeriesId,
+    series_sort_key,
+)
+
+
+class TimeSeriesStore:
+    """Mutable collection of time series with index-accelerated scans."""
+
+    def __init__(self) -> None:
+        self._data: dict[SeriesId, SeriesData] = {}
+        self._by_name: dict[str, set[SeriesId]] = defaultdict(set)
+        self._by_tag: dict[tuple[str, str], set[SeriesId]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def insert(self, series: SeriesId, timestamp: int, value: float) -> None:
+        """Insert one observation; timestamps per series must be sorted."""
+        column = self._data.get(series)
+        if column is None:
+            column = SeriesData(series=series)
+            self._data[series] = column
+            self._by_name[series.name].add(series)
+            for pair in series.tags:
+                self._by_tag[pair].add(series)
+        column.append(timestamp, value)
+
+    def insert_point(self, point: DataPoint) -> None:
+        """Insert a :class:`DataPoint`."""
+        self.insert(point.series, point.timestamp, point.value)
+
+    def insert_array(self, series: SeriesId, timestamps: Iterable[int],
+                     values: Iterable[float]) -> None:
+        """Bulk-insert a whole column pair for one series."""
+        ts_list = list(timestamps)
+        val_list = list(values)
+        if len(ts_list) != len(val_list):
+            raise SeriesFormatError(
+                f"timestamps ({len(ts_list)}) and values ({len(val_list)}) "
+                f"must have equal length for {series}"
+            )
+        for ts, val in zip(ts_list, val_list):
+            self.insert(series, int(ts), float(val))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, series: SeriesId) -> bool:
+        return series in self._data
+
+    def num_points(self) -> int:
+        """Total number of stored observations across all series."""
+        return sum(len(col) for col in self._data.values())
+
+    def series_ids(self) -> list[SeriesId]:
+        """All series ids in a stable order."""
+        return sorted(self._data, key=series_sort_key)
+
+    def metric_names(self) -> list[str]:
+        """Sorted distinct metric names."""
+        return sorted(self._by_name)
+
+    def tag_keys(self) -> list[str]:
+        """Sorted distinct tag keys seen across all series."""
+        return sorted({key for key, _ in self._by_tag})
+
+    def tag_values(self, key: str) -> list[str]:
+        """Sorted distinct values observed for one tag key."""
+        return sorted({v for (k, v) in self._by_tag if k == key})
+
+    def time_range(self) -> tuple[int, int]:
+        """(min, max) timestamp over the whole store.
+
+        Raises :class:`SeriesFormatError` on an empty store so callers never
+        silently operate on a sentinel range.
+        """
+        lo: int | None = None
+        hi: int | None = None
+        for column in self._data.values():
+            if not column.timestamps:
+                continue
+            first, last = column.timestamps[0], column.timestamps[-1]
+            lo = first if lo is None else min(lo, first)
+            hi = last if hi is None else max(hi, last)
+        if lo is None or hi is None:
+            raise SeriesFormatError("store is empty; no time range")
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def find(self, name: str | None = None,
+             tags: Mapping[str, str] | None = None) -> list[SeriesId]:
+        """Return series matching a name glob and tag-value globs.
+
+        The indexes are consulted for exact (non-glob) terms; glob terms
+        fall back to a filtered walk of the candidate set.
+        """
+        candidates = self._candidates(name, tags)
+        return sorted(
+            (s for s in candidates if s.matches(name, tags)),
+            key=series_sort_key,
+        )
+
+    def _candidates(self, name: str | None,
+                    tags: Mapping[str, str] | None) -> set[SeriesId]:
+        sets: list[set[SeriesId]] = []
+        if name is not None and "*" not in name:
+            sets.append(self._by_name.get(name, set()))
+        if tags:
+            for key, value in tags.items():
+                if "*" not in str(value):
+                    sets.append(self._by_tag.get((key, str(value)), set()))
+        if not sets:
+            return set(self._data)
+        smallest = min(sets, key=len)
+        result = set(smallest)
+        for other in sets:
+            if other is not smallest:
+                result &= other
+        return result
+
+    def get(self, series: SeriesId) -> SeriesData:
+        """Return the raw column pair for a series id."""
+        try:
+            return self._data[series]
+        except KeyError:
+            raise SeriesFormatError(f"unknown series: {series}") from None
+
+    def arrays(self, series: SeriesId,
+               start: int | None = None,
+               end: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(timestamps, values)`` numpy arrays clipped to a range.
+
+        The range is inclusive of ``start`` and exclusive of ``end``; either
+        bound may be ``None`` for an open end.
+        """
+        column = self.get(series)
+        ts = np.asarray(column.timestamps, dtype=np.int64)
+        values = np.asarray(column.values, dtype=np.float64)
+        if start is not None:
+            keep = ts >= start
+            ts, values = ts[keep], values[keep]
+        if end is not None:
+            keep = ts < end
+            ts, values = ts[keep], values[keep]
+        return ts, values
+
+    def iter_points(self, series_ids: Iterable[SeriesId] | None = None,
+                    start: int | None = None,
+                    end: int | None = None) -> Iterator[DataPoint]:
+        """Yield data points across series, in per-series time order."""
+        ids = list(series_ids) if series_ids is not None else self.series_ids()
+        for series in ids:
+            ts, values = self.arrays(series, start, end)
+            for t, v in zip(ts.tolist(), values.tolist()):
+                yield DataPoint(series=series, timestamp=int(t), value=float(v))
+
+    # ------------------------------------------------------------------
+    # Mutation helpers used by the fault-injection workloads
+    # ------------------------------------------------------------------
+    def apply(self, series: SeriesId,
+              transform: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> None:
+        """Replace a series' values with ``transform(timestamps, values)``.
+
+        The transform must return an array of the same length; this is how
+        fault injectors overlay faults on clean generated traces.
+        """
+        column = self.get(series)
+        ts = np.asarray(column.timestamps, dtype=np.int64)
+        values = np.asarray(column.values, dtype=np.float64)
+        new_values = np.asarray(transform(ts, values), dtype=np.float64)
+        if new_values.shape != values.shape:
+            raise SeriesFormatError(
+                f"transform changed length of {series}: "
+                f"{values.shape} -> {new_values.shape}"
+            )
+        column.values = new_values.tolist()
+
+    def merge(self, other: "TimeSeriesStore") -> None:
+        """Merge another store's contents into this one."""
+        for series in other.series_ids():
+            column = other.get(series)
+            self.insert_array(series, column.timestamps, column.values)

@@ -1,0 +1,117 @@
+"""Terminal visualisations for diagnostic reports (Appendix D).
+
+"We found substantial benefits in adding diagnostic plots to the results
+output by ExplainIt! ... as a visual aid to the operator for instances
+where a single confidence score is not adequate."  This module renders
+the plots the paper shows (target vs prediction overlays, histograms,
+spark-lines) as unicode text so reports work anywhere a terminal does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_DUAL_CHARS = {"": " ", "a": "●", "b": "○", "ab": "◉"}
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """One-line unicode sparkline, resampled to ``width`` characters."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        return ""
+    resampled = _resample(values, width)
+    lo, hi = float(np.min(resampled)), float(np.max(resampled))
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[0] * len(resampled)
+    scaled = (resampled - lo) / (hi - lo)
+    indexes = np.minimum((scaled * len(_SPARK_LEVELS)).astype(int),
+                         len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[i] for i in indexes)
+
+
+def line_plot(values: np.ndarray, width: int = 64, height: int = 8,
+              label: str = "") -> str:
+    """Multi-row character plot of one series."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        return "(empty series)"
+    resampled = _resample(values, width)
+    lo, hi = float(np.min(resampled)), float(np.max(resampled))
+    span = hi - lo if hi > lo else 1.0
+    rows = []
+    levels = np.clip(((resampled - lo) / span * (height - 1)).round()
+                     .astype(int), 0, height - 1)
+    for row in range(height - 1, -1, -1):
+        chars = "".join("█" if lvl >= row else " " for lvl in levels)
+        edge = f"{hi:9.2f} ┤" if row == height - 1 else (
+            f"{lo:9.2f} ┤" if row == 0 else " " * 10 + "│")
+        rows.append(edge + chars)
+    if label:
+        rows.append(" " * 11 + label)
+    return "\n".join(rows)
+
+
+def overlay_plot(target: np.ndarray, prediction: np.ndarray,
+                 width: int = 64, height: int = 10,
+                 labels: tuple[str, str] = ("observed Y", "E[Y | X]")
+                 ) -> str:
+    """Figure 14/15-style overlay: observed series vs model prediction.
+
+    ``●`` marks the target, ``○`` the prediction, ``◉`` where they
+    coincide.  Both series share one vertical scale so a prediction that
+    tracks only part of the target's variation is visually obvious.
+    """
+    a = _resample(np.asarray(target, dtype=np.float64).reshape(-1), width)
+    b = _resample(np.asarray(prediction, dtype=np.float64).reshape(-1),
+                  width)
+    if a.size != b.size:
+        raise ValueError("target and prediction must cover the same range")
+    lo = float(min(a.min(), b.min()))
+    hi = float(max(a.max(), b.max()))
+    span = hi - lo if hi > lo else 1.0
+    rows_a = np.clip(((a - lo) / span * (height - 1)).round().astype(int),
+                     0, height - 1)
+    rows_b = np.clip(((b - lo) / span * (height - 1)).round().astype(int),
+                     0, height - 1)
+    grid = [[" "] * a.size for _ in range(height)]
+    for col in range(a.size):
+        if rows_a[col] == rows_b[col]:
+            grid[rows_a[col]][col] = "◉"
+        else:
+            grid[rows_a[col]][col] = "●"
+            grid[rows_b[col]][col] = "○"
+    lines = []
+    for row in range(height - 1, -1, -1):
+        edge = f"{hi:9.2f} ┤" if row == height - 1 else (
+            f"{lo:9.2f} ┤" if row == 0 else " " * 10 + "│")
+        lines.append(edge + "".join(grid[row]))
+    lines.append(" " * 11 + f"● {labels[0]}   ○ {labels[1]}   ◉ both")
+    return "\n".join(lines)
+
+
+def histogram(values: np.ndarray, bins: int = 20, width: int = 40,
+              label: str = "") -> str:
+    """Horizontal-bar histogram (the Figure 6 before/after view)."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        return "(empty sample)"
+    counts, edges = np.histogram(values, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [label] if label else []
+    for i, count in enumerate(counts):
+        bar = "█" * int(round(count / peak * width))
+        lines.append(f"{edges[i]:9.2f} ┤{bar} {count}")
+    return "\n".join(lines)
+
+
+def _resample(values: np.ndarray, width: int) -> np.ndarray:
+    """Average-pool a series down to at most ``width`` points."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    n = values.size
+    if n <= width:
+        return values.copy()
+    edges = np.linspace(0, n, width + 1).astype(int)
+    return np.array([values[edges[i]:edges[i + 1]].mean()
+                     for i in range(width)])

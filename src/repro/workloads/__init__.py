@@ -1,0 +1,63 @@
+"""Synthetic data-centre monitoring workloads with ground-truth causality.
+
+The paper's evaluation uses four years of production incidents from a
+Tetration Analytics deployment — data we cannot ship.  The substitution
+(see DESIGN.md) generates equivalent traces from explicit linear-Gaussian
+structural causal models of a cluster, so every scenario carries *exact*
+cause/effect labels derived from its DAG instead of hand labels:
+
+- :mod:`repro.workloads.signals` — reusable signal shapes (diurnal load,
+  weekly cycles, fault windows, sawtooth, spikes).
+- :mod:`repro.workloads.datacenter` — the cluster model: pipelines, HDFS
+  datanodes/namenode, hosts, and their per-minute metrics wired into one
+  SCM.
+- :mod:`repro.workloads.faults` — fault injectors implemented as
+  intervention variables added to the SCM (packet drops, hypervisor
+  drops, periodic namenode scans, weekly RAID checks, ...).
+- :mod:`repro.workloads.scenarios` — the §5 case studies as ready-made
+  scenarios (5.1 packet drops, 5.2 conditioning, 5.3 namenode period,
+  5.4 weekly RAID) plus the Figure 14 sawtooth.
+- :mod:`repro.workloads.incidents` — the 11 evaluation incidents behind
+  Table 6, spanning univariate and joint causes.
+- :mod:`repro.workloads.pipeline` — the minimal Figure 1 three-component
+  pipeline used by the quickstart.
+"""
+
+from repro.workloads.datacenter import ClusterConfig, DataCenterModel
+from repro.workloads.faults import (
+    Fault,
+    HypervisorDropFault,
+    NamenodeScanFault,
+    PacketDropFault,
+    RaidCheckFault,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    conditioning_scenario,
+    fault_injection_scenario,
+    periodic_namenode_scenario,
+    sawtooth_temperature_scenario,
+    weekly_raid_scenario,
+)
+from repro.workloads.incidents import Incident, make_incident, standard_incidents
+from repro.workloads.pipeline import figure1_pipeline
+
+__all__ = [
+    "ClusterConfig",
+    "DataCenterModel",
+    "Fault",
+    "PacketDropFault",
+    "HypervisorDropFault",
+    "NamenodeScanFault",
+    "RaidCheckFault",
+    "Scenario",
+    "fault_injection_scenario",
+    "conditioning_scenario",
+    "periodic_namenode_scenario",
+    "weekly_raid_scenario",
+    "sawtooth_temperature_scenario",
+    "Incident",
+    "make_incident",
+    "standard_incidents",
+    "figure1_pipeline",
+]

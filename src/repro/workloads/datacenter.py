@@ -1,0 +1,328 @@
+"""The data-centre model: a cluster's metrics wired into one causal SCM.
+
+The modelled system mirrors the paper's environment (§5): tens of data
+processing pipelines writing to HDFS, monitored per minute.  Each metric
+is a variable in a linear-Gaussian SCM whose DAG encodes the real
+dependency structure:
+
+    input_rate ─→ runtime ←─ hdfs_save_time ←─ disk_write_latency ←─ disk_io
+         │            │              ↑
+         └→ gc_time ──┘       namenode_rpc_latency ←─ rpc_rate ← input_rate
+                      runtime ─→ pipeline_latency (lagged)
+
+Faults attach as *intervention variables* with edges into the metrics
+they disturb; their downstream effects (runtime spikes, latency shifts)
+then propagate through the same structural equations that generate the
+healthy traces, so injected incidents have realistic correlated fallout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.causal.scm import LinearGaussianScm, NoiseSpec
+from repro.tsdb.model import SeriesId
+from repro.tsdb.storage import TimeSeriesStore
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Size and horizon of the simulated cluster."""
+
+    n_pipelines: int = 4
+    n_datanodes: int = 6
+    n_hypervisors: int = 3
+    n_service_hosts: int = 6
+    n_samples: int = 288          # one day at 5-minute granularity
+    diurnal_period: int = 288
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.n_pipelines, self.n_datanodes, self.n_hypervisors,
+               self.n_service_hosts) < 1:
+            raise ValueError("cluster entity counts must be >= 1")
+        if self.n_samples < 20:
+            raise ValueError("n_samples must be at least 20")
+
+
+def _clip_positive(values: np.ndarray) -> np.ndarray:
+    return np.maximum(values, 0.0)
+
+
+@dataclass
+class SimulationResult:
+    """Output of one simulation run."""
+
+    store: TimeSeriesStore
+    values: dict[str, np.ndarray]
+    scm: LinearGaussianScm
+    var_series: dict[str, SeriesId]
+
+    def series_for(self, variable: str) -> SeriesId:
+        return self.var_series[variable]
+
+
+class DataCenterModel:
+    """Builds the cluster SCM and simulates monitoring traces."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.scm = LinearGaussianScm()
+        #: observable variable -> SeriesId; fault variables are *not* here
+        #: (the root cause is typically unmonitored, as in §5.2).
+        self.var_series: dict[str, SeriesId] = {}
+        self.fault_vars: list[str] = []
+        self._interventions: dict[str, np.ndarray] = {}
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def metric(self, name: str, entity_key: str, entity: str,
+               noise: NoiseSpec, positive: bool = True) -> str:
+        """Declare one observable metric variable; returns its var id."""
+        var = f"{name}@{entity}"
+        self.scm.add_variable(var, noise)
+        if positive:
+            self.scm.set_transform(var, _clip_positive)
+        self.var_series[var] = SeriesId.make(name, {entity_key: entity})
+        return var
+
+    def pipelines(self) -> list[str]:
+        return [f"pipeline-{i + 1}" for i in range(self.config.n_pipelines)]
+
+    def datanodes(self) -> list[str]:
+        return [f"datanode-{i + 1}" for i in range(self.config.n_datanodes)]
+
+    def hypervisors(self) -> list[str]:
+        return [f"hypervisor-{i + 1}"
+                for i in range(self.config.n_hypervisors)]
+
+    def service_hosts(self) -> list[str]:
+        kinds = ("web", "app", "db")
+        return [f"{kinds[i % 3]}-{i // 3 + 1}"
+                for i in range(self.config.n_service_hosts)]
+
+    # ------------------------------------------------------------------
+    # Model construction
+    # ------------------------------------------------------------------
+    def build(self) -> "DataCenterModel":
+        """Wire up every entity's metrics; idempotent."""
+        if self._built:
+            return self
+        cfg = self.config
+        period = cfg.diurnal_period
+
+        # --- datanode-level metrics --------------------------------------
+        for node in self.datanodes():
+            self.metric("disk_io", "host", node,
+                        NoiseSpec(std=2.0, ar=0.5, mean=50.0))
+            self.metric("disk_write_latency", "host", node,
+                        NoiseSpec(std=0.5, ar=0.3, mean=5.0))
+            self.metric("disk_read_latency", "host", node,
+                        NoiseSpec(std=0.4, ar=0.3, mean=3.0))
+            self.metric("tcp_retransmits", "host", node,
+                        NoiseSpec(std=1.0, mean=2.0))
+            self.metric("cpu_util", "host", node,
+                        NoiseSpec(std=3.0, ar=0.4, mean=40.0))
+            self.metric("load_avg", "host", node,
+                        NoiseSpec(std=0.5, ar=0.4, mean=2.0))
+            self.scm.add_edge(f"disk_io@{node}",
+                              f"disk_write_latency@{node}", weight=0.05)
+            self.scm.add_edge(f"disk_io@{node}",
+                              f"disk_read_latency@{node}", weight=0.03)
+            self.scm.add_edge(f"disk_io@{node}", f"cpu_util@{node}",
+                              weight=0.10)
+            self.scm.add_edge(f"cpu_util@{node}", f"load_avg@{node}",
+                              weight=0.05)
+
+        # --- namenode ------------------------------------------------------
+        self.metric("namenode_rpc_rate", "host", "namenode-1",
+                    NoiseSpec(std=3.0, ar=0.4, mean=100.0))
+        self.metric("namenode_live_threads", "host", "namenode-1",
+                    NoiseSpec(std=1.0, mean=20.0))
+        self.metric("namenode_gc_time", "host", "namenode-1",
+                    NoiseSpec(std=0.3, ar=0.2, mean=1.0))
+        self.metric("namenode_rpc_latency", "host", "namenode-1",
+                    NoiseSpec(std=0.5, mean=4.0))
+        self.scm.add_edge("namenode_rpc_rate@namenode-1",
+                          "namenode_live_threads@namenode-1", weight=0.20)
+        self.scm.add_edge("namenode_rpc_rate@namenode-1",
+                          "namenode_rpc_latency@namenode-1", weight=0.04)
+        self.scm.add_edge("namenode_live_threads@namenode-1",
+                          "namenode_rpc_latency@namenode-1", weight=0.10)
+        self.scm.add_edge("namenode_gc_time@namenode-1",
+                          "namenode_rpc_latency@namenode-1", weight=0.50)
+
+        # --- pipelines -------------------------------------------------------
+        datanodes = self.datanodes()
+        for pipe in self.pipelines():
+            self.metric("pipeline_input_rate", "pipeline_name", pipe,
+                        NoiseSpec(std=8.0, ar=0.6, mean=100.0,
+                                  seasonal_period=period,
+                                  seasonal_amplitude=20.0))
+            self.metric("jvm_gc_time", "pipeline_name", pipe,
+                        NoiseSpec(std=0.4, ar=0.2, mean=2.0))
+            self.metric("hdfs_save_time", "pipeline_name", pipe,
+                        NoiseSpec(std=0.8, mean=8.0))
+            self.metric("pipeline_runtime", "pipeline_name", pipe,
+                        NoiseSpec(std=1.0, mean=20.0))
+            self.metric("pipeline_latency", "pipeline_name", pipe,
+                        NoiseSpec(std=1.0, mean=10.0))
+            self.scm.add_edge(f"pipeline_input_rate@{pipe}",
+                              f"jvm_gc_time@{pipe}", weight=0.01)
+            self.scm.add_edge(f"pipeline_input_rate@{pipe}",
+                              f"hdfs_save_time@{pipe}", weight=0.02)
+            self.scm.add_edge(f"pipeline_input_rate@{pipe}",
+                              f"pipeline_runtime@{pipe}", weight=0.08)
+            self.scm.add_edge(f"hdfs_save_time@{pipe}",
+                              f"pipeline_runtime@{pipe}", weight=1.0)
+            self.scm.add_edge(f"jvm_gc_time@{pipe}",
+                              f"pipeline_runtime@{pipe}", weight=0.8)
+            self.scm.add_edge(f"pipeline_runtime@{pipe}",
+                              f"pipeline_latency@{pipe}", weight=0.8, lag=1)
+            self.scm.add_edge("namenode_rpc_latency@namenode-1",
+                              f"hdfs_save_time@{pipe}", weight=0.40)
+            for node in datanodes:
+                self.scm.add_edge(f"disk_write_latency@{node}",
+                                  f"hdfs_save_time@{pipe}",
+                                  weight=0.5 / len(datanodes))
+                # Pipelines load the datanodes' disks.
+                self.scm.add_edge(f"pipeline_input_rate@{pipe}",
+                                  f"disk_io@{node}",
+                                  weight=0.05 / self.config.n_pipelines)
+                # Retransmits slow down writes a little even when healthy.
+                self.scm.add_edge(f"tcp_retransmits@{node}",
+                                  f"disk_write_latency@{node}", weight=0.05)
+            # Pipeline activity drives namenode RPCs.
+            self.scm.add_edge(f"pipeline_input_rate@{pipe}",
+                              "namenode_rpc_rate@namenode-1", weight=0.08)
+
+        # --- hypervisors and service hosts ---------------------------------
+        for host in self.hypervisors() + self.service_hosts():
+            self.metric("cpu_util", "host", host,
+                        NoiseSpec(std=4.0, ar=0.4, mean=30.0))
+            self.metric("load_avg", "host", host,
+                        NoiseSpec(std=0.4, ar=0.4, mean=1.5))
+            self.metric("mem_util", "host", host,
+                        NoiseSpec(std=2.0, ar=0.7, mean=60.0))
+            self.metric("tcp_retransmits", "host", host,
+                        NoiseSpec(std=0.8, mean=1.0))
+            self.scm.add_edge(f"cpu_util@{host}", f"load_avg@{host}",
+                              weight=0.04)
+        self._built = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def add_fault_variable(self, name: str, signal: np.ndarray,
+                           edges: Iterable[tuple[str, float]],
+                           series: SeriesId | None = None) -> str:
+        """Attach an intervention variable driving the listed metrics.
+
+        ``edges`` is ``(target_variable, weight)``.  By default the fault
+        variable is *unobserved* (not exported to the store); pass
+        ``series`` to also monitor it (e.g. the RAID temperature sensor
+        of Table 5).
+        """
+        self.build()
+        var = f"fault:{name}"
+        if len(signal) != self.config.n_samples:
+            raise ValueError(
+                f"fault signal length {len(signal)} != horizon "
+                f"{self.config.n_samples}"
+            )
+        self.scm.add_variable(var, NoiseSpec(std=0.0))
+        for target, weight in edges:
+            if target not in self.var_series:
+                raise ValueError(f"fault targets unknown metric {target!r}")
+            self.scm.add_edge(var, target, weight=weight)
+        self._interventions[var] = np.asarray(signal, dtype=np.float64)
+        self.fault_vars.append(var)
+        if series is not None:
+            self.var_series[var] = series
+        return var
+
+    def intervene(self, variable: str, series: np.ndarray) -> None:
+        """Clamp an observable metric to a fixed series (``do()``).
+
+        Used by scenarios that replay a recorded workload (e.g. §5.2's
+        copy of production traffic driving ``pipeline_input_rate``).
+        """
+        self.build()
+        if variable not in self.scm.variables():
+            raise ValueError(f"unknown variable {variable!r}")
+        series = np.asarray(series, dtype=np.float64)
+        if len(series) != self.config.n_samples:
+            raise ValueError(
+                f"intervention length {len(series)} != horizon "
+                f"{self.config.n_samples}"
+            )
+        self._interventions[variable] = series
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(self, seed: int | None = None) -> SimulationResult:
+        """Generate traces and load them into a fresh store."""
+        self.build()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed if seed is None else seed)
+        values = self.scm.simulate(cfg.n_samples, rng,
+                                   interventions=self._interventions)
+        store = TimeSeriesStore()
+        timestamps = np.arange(cfg.n_samples)
+        for var, series_id in self.var_series.items():
+            store.insert_array(series_id, timestamps, values[var])
+        return SimulationResult(store=store, values=values, scm=self.scm,
+                                var_series=self.var_series)
+
+    # ------------------------------------------------------------------
+    # Ground-truth labels
+    # ------------------------------------------------------------------
+    def classify_families(self, target_family: str,
+                          redundant: Iterable[str] = ()
+                          ) -> tuple[set[str], set[str]]:
+        """(cause_families, effect_families) for the attached faults.
+
+        A family counts as a *cause* when one of its metrics is causally
+        downstream of a fault variable (evidence "pointing to the root
+        cause" in the paper's labelling) — this covers both metrics on
+        the fault -> target path and sibling symptoms like the RAID
+        temperature sensor.  A family is an *effect* when its metrics are
+        descendants of the target, or when the caller declares it
+        ``redundant`` (the paper's "runtime is the sum of save times, so
+        these variables are redundant" labels).  The target family itself
+        is excluded from both sets.
+        """
+        self.build()
+        target_vars = [v for v, s in self.var_series.items()
+                       if s.name == target_family]
+        if not target_vars:
+            raise ValueError(f"no metrics in target family {target_family!r}")
+        dag = self.scm.dag
+        target_descendants: set[str] = set()
+        for var in target_vars:
+            target_descendants |= dag.descendants(var)
+        fault_downstream: set[str] = set(self.fault_vars)
+        for fault in self.fault_vars:
+            fault_downstream |= dag.descendants(fault)
+        redundant = set(redundant)
+        causes: set[str] = set()
+        effects: set[str] = set()
+        for var, series in self.var_series.items():
+            family = series.name
+            if family == target_family:
+                continue
+            if family in redundant:
+                effects.add(family)
+            elif var in target_descendants:
+                effects.add(family)
+            elif var in fault_downstream:
+                causes.add(family)
+        causes -= effects
+        return causes, effects

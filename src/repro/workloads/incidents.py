@@ -1,0 +1,276 @@
+"""The 11 evaluation incidents behind Table 6.
+
+The paper took 11 production root-cause incidents ("none of these needed
+conditioning") and compared five scorers on ranking accuracy.  We cannot
+ship those traces; instead each incident is generated with a controlled
+*cause kind* that reproduces the regimes the paper's discussion
+identifies:
+
+- ``univariate`` — one strong metric inside the cause family.  CorrMax
+  should nail these; CorrMean dilutes over the family's other metrics.
+- ``joint`` — the causal signal is spread across many features, each
+  individually weak ("multiple features that jointly explain a
+  phenomenon", §6.1).  Univariate scorers fail; joint scorers shine.
+- ``weak-univariate`` / ``weak-joint`` — low signal-to-noise versions.
+
+Every incident also carries effect families (descendants of the target
+that rank high but are labelled effects) and background families sharing
+a weak common seasonal component — the source of the spurious
+correlations §1 worries about, and of the joint scorers' bias toward
+large families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.families import FamilySet, FeatureFamily
+from repro.workloads import signals
+
+
+CAUSE_KINDS = ("univariate", "joint", "weak-univariate", "weak-joint")
+
+
+@dataclass(frozen=True)
+class IncidentSpec:
+    """Parameters of one synthetic incident."""
+
+    scenario_id: int
+    cause_kind: str
+    n_background: int = 40            # background (irrelevant) families
+    features_small: int = 3           # min features per background family
+    features_large: int = 20          # max features per background family
+    n_large_families: int = 2         # extra very wide noise families
+    large_family_features: int = 120
+    cause_features: int = 12
+    cause_strength: float = 1.0
+    joint_noise: float = 1.2          # per-column noise for joint causes
+    n_effects: int = 3
+    effect_coupling: float = 0.85     # how strongly effects track the target
+    seasonal_leak: float = 0.25       # shared seasonal component amplitude
+    n_samples: int = 240
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cause_kind not in CAUSE_KINDS:
+            raise ValueError(
+                f"cause_kind must be one of {CAUSE_KINDS}, got "
+                f"{self.cause_kind!r}"
+            )
+
+
+@dataclass
+class Incident:
+    """A generated incident: families plus ground-truth labels."""
+
+    name: str
+    spec: IncidentSpec
+    families: FamilySet
+    target: str
+    causes: set[str]
+    effects: set[str]
+    description: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def n_families(self) -> int:
+        return len(self.families)
+
+    @property
+    def n_features(self) -> int:
+        return self.families.total_features()
+
+
+def make_incident(spec: IncidentSpec) -> Incident:
+    """Generate one incident from its spec."""
+    rng = np.random.default_rng(spec.seed)
+    n = spec.n_samples
+    weak = spec.cause_kind.startswith("weak-")
+    strength = spec.cause_strength * (0.6 if weak else 1.0)
+
+    # The root-cause activation: an incident window plus drift.
+    start = rng.integers(n // 4, n // 2)
+    width = rng.integers(n // 12, n // 6)
+    activation = (
+        signals.window(n, int(start), int(start + width), level=3.0)
+        + 0.5 * signals.random_walk(n, rng, step_std=0.2)
+    )
+    activation = (activation - activation.mean()) / (activation.std() + 1e-9)
+
+    # A weak seasonal mode shared by target and background families:
+    # the source of spurious correlation at scale.
+    season = signals.diurnal(n, amplitude=1.0, period=max(24, n // 4))
+
+    families = FamilySet()
+    grid = np.arange(n, dtype=np.int64)
+
+    # --- target -----------------------------------------------------------
+    target_noise = 0.6 * rng.standard_normal(n)
+    target_series = (2.0 * strength * activation
+                     + spec.seasonal_leak * season + target_noise)
+    families.add(FeatureFamily(
+        name="target_kpi",
+        matrix=target_series[:, None],
+        members=["target_kpi{service=frontend}"],
+        grid=grid,
+    ))
+
+    # --- cause family -----------------------------------------------------
+    f_cause = spec.cause_features
+    if spec.cause_kind.endswith("univariate"):
+        # One clean column carries the cause; the rest is noise, so
+        # CorrMax finds it while CorrMean dilutes over the family.
+        matrix = rng.standard_normal((n, f_cause))
+        matrix[:, 0] = activation + 0.2 * rng.standard_normal(n)
+    else:
+        # The cause is an equal-magnitude random-sign code across all
+        # columns.  The *combined* SNR is (3.0 * strength / joint_noise)²
+        # independent of family width, but each column's own correlation
+        # with the target shrinks as 1/sqrt(F): univariate scorers go
+        # blind while joint regression decodes the signal (§6.1).
+        code = rng.choice((-1.0, 1.0), f_cause) / np.sqrt(f_cause)
+        amplitude = 3.0 * strength
+        matrix = (np.outer(activation, amplitude * code)
+                  + spec.joint_noise * rng.standard_normal((n, f_cause)))
+    families.add(FeatureFamily(
+        name="root_cause_service",
+        matrix=matrix,
+        members=[f"root_cause_service{{metric={j}}}"
+                 for j in range(f_cause)],
+        grid=grid,
+    ))
+
+    # --- effect families ----------------------------------------------------
+    # Effects track the *standardised* target so their correlation is
+    # governed by effect_coupling alone, not by the target's scale.
+    target_std = ((target_series - target_series.mean())
+                  / (target_series.std() + 1e-9))
+    effects: set[str] = set()
+    for e in range(spec.n_effects):
+        coupling = spec.effect_coupling * (0.9 + 0.2 * rng.random())
+        f_eff = int(rng.integers(1, 4))
+        eff = (coupling * target_std[:, None]
+               + 0.5 * rng.standard_normal((n, f_eff)))
+        name = f"downstream_effect_{e}"
+        families.add(FeatureFamily(
+            name=name,
+            matrix=eff,
+            members=[f"{name}{{metric={j}}}" for j in range(f_eff)],
+            grid=grid,
+        ))
+        effects.add(name)
+
+    # --- background families -------------------------------------------------
+    sizes = rng.integers(spec.features_small, spec.features_large + 1,
+                         spec.n_background)
+    for b, f_bg in enumerate(sizes):
+        leak = spec.seasonal_leak * rng.random()
+        bg = (leak * season[:, None]
+              + rng.standard_normal((n, int(f_bg))))
+        name = f"background_{b}"
+        families.add(FeatureFamily(
+            name=name,
+            matrix=bg,
+            members=[f"{name}{{metric={j}}}" for j in range(int(f_bg))],
+            grid=grid,
+        ))
+    for w in range(spec.n_large_families):
+        leak = spec.seasonal_leak * rng.random()
+        wide = (leak * season[:, None]
+                + rng.standard_normal((n, spec.large_family_features)))
+        name = f"wide_background_{w}"
+        families.add(FeatureFamily(
+            name=name,
+            matrix=wide,
+            members=[f"{name}{{metric={j}}}"
+                     for j in range(spec.large_family_features)],
+            grid=grid,
+        ))
+
+    return Incident(
+        name=f"incident-{spec.scenario_id}",
+        spec=spec,
+        families=families,
+        target="target_kpi",
+        causes={"root_cause_service"},
+        effects=effects,
+        description=(
+            f"{spec.cause_kind} cause, {len(families)} families, "
+            f"{families.total_features()} features"
+        ),
+        extra={"activation": activation, "window": (int(start),
+                                                    int(start + width))},
+    )
+
+
+def standard_incidents(scale: float = 1.0, n_samples: int = 240
+                       ) -> list[Incident]:
+    """The 11-incident suite used by the Table 6 benchmark.
+
+    ``scale`` multiplies family counts and feature widths to approach the
+    paper's sizes (scale=1 keeps the suite laptop-fast; see
+    EXPERIMENTS.md for the mapping).
+    """
+    def scaled(value: int) -> int:
+        return max(1, int(round(value * scale)))
+
+    specs = [
+        # Univariate cause, weak effects: CorrMax should score 1.0.
+        IncidentSpec(1, "univariate", n_background=scaled(40),
+                     cause_features=8, cause_strength=1.4,
+                     effect_coupling=0.35, n_samples=n_samples, seed=11),
+        # Weak joint cause under heavy spurious seasonality: hard for all.
+        IncidentSpec(2, "weak-joint", n_background=scaled(60),
+                     cause_features=scaled(40), cause_strength=0.8,
+                     joint_noise=1.8, seasonal_leak=0.45,
+                     effect_coupling=0.9, n_samples=n_samples, seed=22),
+        # Tiny clean family: even CorrMean finds it.
+        IncidentSpec(3, "univariate", n_background=scaled(30),
+                     cause_features=2, cause_strength=2.0,
+                     seasonal_leak=0.10, effect_coupling=0.4,
+                     n_samples=n_samples, seed=33),
+        # Wide joint cause with strong effects: univariate scorers fail.
+        IncidentSpec(4, "joint", n_background=scaled(55),
+                     cause_features=scaled(48), cause_strength=1.2,
+                     joint_noise=4.5, seasonal_leak=0.35,
+                     effect_coupling=0.9, n_samples=n_samples, seed=44),
+        # Univariate needle inside a wide family, strong effects:
+        # CorrMax wins; joint scoring dilutes across the noise columns.
+        IncidentSpec(5, "univariate", n_background=scaled(35),
+                     cause_features=scaled(30), cause_strength=1.3,
+                     seasonal_leak=0.30, n_large_families=3,
+                     effect_coupling=0.9, n_samples=n_samples, seed=55),
+        # Joint cause, weak effects: joint scorers can reach 1.0.
+        IncidentSpec(6, "joint", n_background=scaled(25),
+                     cause_features=scaled(24), cause_strength=1.2,
+                     seasonal_leak=0.25, effect_coupling=0.35,
+                     n_samples=n_samples, seed=66),
+        # Weak joint cause with strong effects and seasonality.
+        IncidentSpec(7, "weak-joint", n_background=scaled(45),
+                     cause_features=scaled(40), cause_strength=0.95,
+                     joint_noise=1.8, seasonal_leak=0.40,
+                     effect_coupling=0.85, n_samples=n_samples, seed=77),
+        # Strong univariate cause among very wide noise families.
+        IncidentSpec(8, "univariate", n_background=scaled(40),
+                     cause_features=6, cause_strength=1.6,
+                     n_large_families=4, effect_coupling=0.4,
+                     n_samples=n_samples, seed=88),
+        # Weak univariate cause drowned in seasonality: low gains all round.
+        IncidentSpec(9, "weak-univariate", n_background=scaled(40),
+                     cause_features=scaled(20), cause_strength=0.7,
+                     seasonal_leak=0.45, effect_coupling=0.9,
+                     n_samples=n_samples, seed=99),
+        # Joint cause of moderate width, strong effects.
+        IncidentSpec(10, "joint", n_background=scaled(40),
+                     cause_features=scaled(32), cause_strength=1.1,
+                     joint_noise=3.5, seasonal_leak=0.35,
+                     effect_coupling=0.85, n_samples=n_samples, seed=110),
+        # Very weak univariate cause: small-family CorrMean territory.
+        IncidentSpec(11, "weak-univariate", n_background=scaled(35),
+                     cause_features=4, cause_strength=0.55,
+                     seasonal_leak=0.50, effect_coupling=0.9,
+                     n_samples=n_samples, seed=121),
+    ]
+    return [make_incident(spec) for spec in specs]

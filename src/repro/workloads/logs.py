@@ -1,0 +1,176 @@
+"""Log messages as time series (§8's other ongoing-work item).
+
+"We are continuing to develop ExplainIt! and incorporate other sources
+of data, particularly text time series (log messages)."  This module
+closes that loop for the reproduction:
+
+- :class:`LogTemplateMiner` — a Drain-flavoured online miner that
+  clusters log lines into templates by masking variable tokens
+  (numbers, hex ids, paths) and grouping by token signature;
+- :func:`log_counts_store` — converts a stream of (timestamp, message)
+  records into per-template count series in a
+  :class:`~repro.tsdb.TimeSeriesStore`, at which point log activity is
+  just another feature family the engine can rank;
+- :func:`generate_cluster_logs` — a synthetic log stream for the cluster
+  model, with an error-burst knob so the new families carry causal
+  signal in tests and examples.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.tsdb.model import SeriesId
+from repro.tsdb.storage import TimeSeriesStore
+
+_NUMBER_RE = re.compile(r"^\d+(\.\d+)?$")
+_HEX_RE = re.compile(r"^(0x)?[0-9a-f]{6,}$", re.IGNORECASE)
+_PATH_RE = re.compile(r"^(/[\w.\-]+)+/?$")
+_HOSTLIKE_RE = re.compile(r"^[\w\-]+-\d+$")
+
+
+def mask_token(token: str) -> str:
+    """Replace variable-looking tokens with placeholders."""
+    if _NUMBER_RE.match(token):
+        return "<num>"
+    if _HEX_RE.match(token):
+        return "<id>"
+    if _PATH_RE.match(token):
+        return "<path>"
+    if _HOSTLIKE_RE.match(token):
+        return "<host>"
+    return token
+
+
+@dataclass
+class LogTemplate:
+    """A mined template: its id, masked tokens, and match count."""
+
+    template_id: int
+    tokens: tuple[str, ...]
+    count: int = 0
+
+    @property
+    def text(self) -> str:
+        return " ".join(self.tokens)
+
+
+@dataclass
+class LogTemplateMiner:
+    """Online log-template mining by masked-token signature.
+
+    A simplification of Drain: lines are tokenised on whitespace,
+    variable tokens masked, and lines sharing (length, masked tokens)
+    join one template.  Token positions that later disagree degrade to
+    ``<*>`` wildcards, merging near-identical templates.
+    """
+
+    templates: dict[tuple, LogTemplate] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def add(self, message: str) -> LogTemplate:
+        """Assign one message to its template (creating it if new)."""
+        tokens = tuple(mask_token(t) for t in message.split())
+        key = (len(tokens), tokens)
+        template = self.templates.get(key)
+        if template is None:
+            template = self._merge_or_create(tokens)
+        template.count += 1
+        return template
+
+    def _merge_or_create(self, tokens: tuple[str, ...]) -> LogTemplate:
+        # Try to merge with an existing template of the same length that
+        # differs in at most 1/4 of positions.
+        budget = max(1, len(tokens) // 4)
+        for (length, existing), template in list(self.templates.items()):
+            if length != len(tokens):
+                continue
+            diffs = [i for i, (a, b) in enumerate(zip(existing, tokens))
+                     if a != b and a != "<*>"]
+            if len(diffs) <= budget:
+                merged = tuple(
+                    "<*>" if i in diffs else tok
+                    for i, tok in enumerate(existing)
+                )
+                if merged != existing:
+                    del self.templates[(length, existing)]
+                    template.tokens = merged
+                    self.templates[(length, merged)] = template
+                return template
+        template = LogTemplate(template_id=self._next_id, tokens=tokens)
+        self._next_id += 1
+        self.templates[(len(tokens), tokens)] = template
+        return template
+
+    def all_templates(self) -> list[LogTemplate]:
+        return sorted(self.templates.values(),
+                      key=lambda t: t.template_id)
+
+
+def log_counts_store(records: Iterable[tuple[int, str]],
+                     horizon: int | None = None,
+                     miner: LogTemplateMiner | None = None,
+                     metric_name: str = "log_count"
+                     ) -> tuple[TimeSeriesStore, LogTemplateMiner]:
+    """Convert (timestamp, message) records into count series.
+
+    One series per mined template, tagged with the template id and text;
+    dense over [0, horizon) with zero fill so the series align with the
+    rest of the monitoring data.
+    """
+    miner = miner if miner is not None else LogTemplateMiner()
+    counts: dict[int, dict[int, int]] = {}
+    max_ts = -1
+    for timestamp, message in records:
+        template = miner.add(message)
+        bucket = counts.setdefault(template.template_id, {})
+        bucket[timestamp] = bucket.get(timestamp, 0) + 1
+        max_ts = max(max_ts, timestamp)
+    if horizon is None:
+        horizon = max_ts + 1
+    store = TimeSeriesStore()
+    by_id = {t.template_id: t for t in miner.all_templates()}
+    timestamps = np.arange(horizon)
+    for template_id, bucket in sorted(counts.items()):
+        template = by_id[template_id]
+        series = np.zeros(horizon)
+        for t, c in bucket.items():
+            if 0 <= t < horizon:
+                series[t] = c
+        sid = SeriesId.make(metric_name, {
+            "template": str(template_id),
+            "text": template.text[:60],
+        })
+        store.insert_array(sid, timestamps, series)
+    return store, miner
+
+
+def generate_cluster_logs(n_samples: int = 240,
+                          error_window: tuple[int, int] | None = None,
+                          seed: int = 0) -> Iterator[tuple[int, str]]:
+    """Synthetic service logs: steady INFO chatter plus an error burst.
+
+    During ``error_window`` the datanodes emit write-failure errors —
+    the log-side signature of the §5.1 packet-drop fault.
+    """
+    rng = np.random.default_rng(seed)
+    hosts = [f"datanode-{i}" for i in range(1, 4)] + ["namenode-1"]
+    for t in range(n_samples):
+        for _ in range(int(rng.poisson(3))):
+            host = hosts[int(rng.integers(len(hosts)))]
+            block = int(rng.integers(10**6, 10**7))
+            yield t, (f"INFO {host} served block blk_{block} "
+                      f"in {rng.integers(1, 50)} ms")
+        if int(rng.poisson(1)) > 0:
+            yield t, (f"INFO namenode-1 heartbeat from "
+                      f"datanode-{int(rng.integers(1, 4))}")
+        if error_window and error_window[0] <= t < error_window[1]:
+            for _ in range(int(rng.poisson(8))):
+                host = hosts[int(rng.integers(3))]
+                yield t, (f"ERROR {host} write failed for block "
+                          f"blk_{int(rng.integers(10**6, 10**7))} "
+                          f"after {rng.integers(1, 5)} retries")

@@ -1,0 +1,95 @@
+"""Signal building blocks for synthetic monitoring traces.
+
+All generators return float arrays of length ``n_samples`` over an epoch-
+minute grid.  They compose additively; the SCM adds causal structure on
+top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MINUTES_PER_DAY = 1440
+MINUTES_PER_WEEK = 7 * MINUTES_PER_DAY
+
+
+def diurnal(n_samples: int, amplitude: float = 1.0,
+            period: int = MINUTES_PER_DAY, phase: float = 0.0) -> np.ndarray:
+    """Smooth daily load cycle (sinusoid)."""
+    t = np.arange(n_samples, dtype=np.float64)
+    return amplitude * np.sin(2.0 * np.pi * (t / period) + phase)
+
+
+def weekly(n_samples: int, amplitude: float = 1.0,
+           period: int = MINUTES_PER_WEEK) -> np.ndarray:
+    """Weekly cycle."""
+    return diurnal(n_samples, amplitude=amplitude, period=period)
+
+
+def window(n_samples: int, start: int, end: int,
+           level: float = 1.0) -> np.ndarray:
+    """Rectangular fault window: ``level`` inside [start, end), else 0."""
+    out = np.zeros(n_samples)
+    start = max(0, start)
+    end = min(n_samples, end)
+    if end > start:
+        out[start:end] = level
+    return out
+
+
+def periodic_windows(n_samples: int, period: int, duration: int,
+                     level: float = 1.0, offset: int = 0) -> np.ndarray:
+    """Repeating fault windows: ``duration`` samples high every ``period``.
+
+    Models the §5.3 namenode scan (every 15 min for ~5 min) and the §5.4
+    RAID consistency check (every 168 h for ~4 h).
+    """
+    if period <= 0 or duration <= 0:
+        raise ValueError("period and duration must be positive")
+    t = np.arange(n_samples)
+    phase = (t - offset) % period
+    return np.where((phase >= 0) & (phase < duration), level, 0.0)
+
+
+def sawtooth(n_samples: int, period: int, amplitude: float = 1.0) -> np.ndarray:
+    """Rising sawtooth (the Figure 14 CPU-temperature shape)."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+    t = np.arange(n_samples, dtype=np.float64)
+    return amplitude * ((t % period) / period)
+
+
+def spikes(n_samples: int, positions, width: int = 3,
+           height: float = 1.0) -> np.ndarray:
+    """Isolated spikes of a given width at the listed positions."""
+    out = np.zeros(n_samples)
+    for pos in positions:
+        lo = max(0, int(pos))
+        hi = min(n_samples, int(pos) + width)
+        out[lo:hi] = height
+    return out
+
+
+def random_walk(n_samples: int, rng: np.random.Generator,
+                step_std: float = 1.0, start: float = 0.0) -> np.ndarray:
+    """Gaussian random walk (memory-leak style drifts)."""
+    steps = rng.standard_normal(n_samples) * step_std
+    walk = np.cumsum(steps)
+    return start + walk - walk[0]
+
+
+def bursty_counts(n_samples: int, rng: np.random.Generator,
+                  rate: float = 5.0, burst_prob: float = 0.02,
+                  burst_scale: float = 10.0) -> np.ndarray:
+    """Poisson counts with occasional heavy bursts (flow-like metrics)."""
+    base = rng.poisson(rate, n_samples).astype(np.float64)
+    bursts = rng.random(n_samples) < burst_prob
+    base[bursts] += rng.exponential(burst_scale * rate, int(bursts.sum()))
+    return base
+
+
+def step(n_samples: int, position: int, level: float = 1.0) -> np.ndarray:
+    """Step change at ``position`` (version rollouts, config changes)."""
+    out = np.zeros(n_samples)
+    out[max(0, position):] = level
+    return out

@@ -1,0 +1,92 @@
+"""Unit tests for the causal DAG and d-separation."""
+
+import pytest
+
+from repro.causal import CausalDag
+from repro.causal.dag import DagError
+
+
+class TestConstruction:
+    def test_cycle_rejected_at_init(self):
+        with pytest.raises(DagError):
+            CausalDag(edges=[("a", "b"), ("b", "a")])
+
+    def test_cycle_rejected_on_add(self):
+        dag = CausalDag(edges=[("a", "b"), ("b", "c")])
+        with pytest.raises(DagError):
+            dag.add_edge("c", "a")
+        # Failed add must not corrupt the graph.
+        assert ("c", "a") not in dag.edges()
+
+    def test_parents_children(self):
+        dag = CausalDag(edges=[("z", "y"), ("y", "x")])
+        assert dag.parents("y") == ["z"]
+        assert dag.children("y") == ["x"]
+
+    def test_ancestors_descendants(self):
+        dag = CausalDag.chain("a", "b", "c", "d")
+        assert dag.ancestors("d") == {"a", "b", "c"}
+        assert dag.descendants("a") == {"b", "c", "d"}
+
+    def test_unknown_node(self):
+        dag = CausalDag(nodes=["a"])
+        with pytest.raises(DagError):
+            dag.parents("zzz")
+
+    def test_topological_order(self):
+        dag = CausalDag(edges=[("a", "c"), ("b", "c"), ("c", "d")])
+        order = dag.topological_order()
+        assert order.index("a") < order.index("c") < order.index("d")
+
+
+class TestDSeparation:
+    """The three canonical structures of §3.1."""
+
+    def test_chain_blocked_by_middle(self):
+        dag = CausalDag.chain("z", "y", "x")
+        assert not dag.d_separated("z", "x")
+        assert dag.d_separated("z", "x", given=["y"])
+
+    def test_fork_blocked_by_common_cause(self):
+        dag = CausalDag.fork("z", "x", "y")
+        assert not dag.d_separated("x", "y")
+        assert dag.d_separated("x", "y", given=["z"])
+
+    def test_collider_opened_by_conditioning(self):
+        dag = CausalDag.collider("z", "x", "y")
+        assert dag.d_separated("x", "y")
+        assert not dag.d_separated("x", "y", given=["z"])
+
+    def test_collider_opened_by_descendant(self):
+        dag = CausalDag(edges=[("x", "z"), ("y", "z"), ("z", "w")])
+        assert dag.d_separated("x", "y")
+        assert not dag.d_separated("x", "y", given=["w"])
+
+    def test_overlapping_sets_not_separated(self):
+        dag = CausalDag(nodes=["a", "b"])
+        assert not dag.d_separated({"a"}, {"a", "b"})
+
+    def test_disconnected_nodes_separated(self):
+        dag = CausalDag(nodes=["a", "b"])
+        assert dag.d_separated("a", "b")
+
+    def test_figure3_pseudocause_blocking(self):
+        """Figure 3: conditioning on Ys blocks Cs from Y1."""
+        dag = CausalDag(edges=[
+            ("Cs", "Ys"), ("Cr", "Yr"), ("Ys", "Y1"), ("Yr", "Y1"),
+        ])
+        assert not dag.d_separated("Cs", "Y1")
+        assert dag.d_separated("Cs", "Y1", given=["Ys"])
+        # Cr remains connected: that is what the ranking should surface.
+        assert not dag.d_separated("Cr", "Y1", given=["Ys"])
+
+
+class TestImpliedIndependencies:
+    def test_chain_enumeration(self):
+        dag = CausalDag.chain("a", "b", "c")
+        found = dag.implied_independencies(max_conditioning=1)
+        assert ("a", "c", ("b",)) in found
+
+    def test_complete_dag_has_none(self):
+        dag = CausalDag(edges=[("a", "b"), ("a", "c"), ("b", "c")])
+        assert dag.implied_independencies(max_conditioning=1) == []

@@ -1,0 +1,100 @@
+"""Unit tests for the Granger-causality baseline."""
+
+import numpy as np
+import pytest
+
+from repro.causal.granger import (
+    GrangerError,
+    GrangerResult,
+    granger_direction,
+    granger_test,
+)
+
+
+def causal_pair(n=800, delay=1, weight=0.8, seed=0):
+    """x drives y with the given delay; x is autonomous."""
+    rng = np.random.default_rng(seed)
+    x = np.empty(n)
+    y = np.empty(n)
+    x[0] = rng.standard_normal()
+    y[0] = rng.standard_normal()
+    for t in range(1, n):
+        x[t] = 0.5 * x[t - 1] + rng.standard_normal()
+        y[t] = 0.3 * y[t - 1] + weight * x[t - delay] \
+            + rng.standard_normal()
+    return x, y
+
+
+class TestGrangerTest:
+    def test_true_direction_significant(self):
+        x, y = causal_pair()
+        result = granger_test(x, y, order=2)
+        assert result.significant()
+        assert result.f_statistic > 10.0
+
+    def test_reverse_direction_not_significant(self):
+        x, y = causal_pair()
+        result = granger_test(y, x, order=2)
+        assert not result.significant(alpha=0.01)
+
+    def test_independent_series(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(500)
+        y = rng.standard_normal(500)
+        result = granger_test(x, y, order=3)
+        assert result.p_value > 0.01
+
+    def test_length_mismatch(self):
+        with pytest.raises(GrangerError):
+            granger_test(np.zeros(10), np.zeros(11))
+
+    def test_too_short(self):
+        with pytest.raises(GrangerError):
+            granger_test(np.zeros(6), np.zeros(6), order=2)
+
+    def test_bad_order(self):
+        with pytest.raises(GrangerError):
+            granger_test(np.zeros(100), np.zeros(100), order=0)
+
+    def test_result_metadata(self):
+        x, y = causal_pair(n=300)
+        result = granger_test(x, y, order=2)
+        assert result.order == 2
+        assert result.n_effective == 298
+
+
+class TestGrangerDirection:
+    def test_forward(self):
+        x, y = causal_pair()
+        assert granger_direction(x, y, order=2, alpha=0.01) == "x->y"
+
+    def test_backward(self):
+        x, y = causal_pair()
+        assert granger_direction(y, x, order=2, alpha=0.01) == "y->x"
+
+    def test_none_for_independent(self):
+        rng = np.random.default_rng(4)
+        assert granger_direction(rng.standard_normal(400),
+                                 rng.standard_normal(400),
+                                 alpha=0.001) == "none"
+
+    def test_feedback_loop(self):
+        rng = np.random.default_rng(5)
+        n = 800
+        x = np.zeros(n)
+        y = np.zeros(n)
+        for t in range(1, n):
+            x[t] = 0.4 * x[t - 1] + 0.5 * y[t - 1] + rng.standard_normal()
+            y[t] = 0.4 * y[t - 1] + 0.5 * x[t - 1] + rng.standard_normal()
+        assert granger_direction(x, y, order=2) == "both"
+
+    def test_scm_lagged_edge_recovered(self):
+        """Granger agrees with the SCM's ground-truth lagged edge
+        (pipeline_runtime -> pipeline_latency has lag 1 in the cluster
+        model)."""
+        from repro.workloads.datacenter import ClusterConfig, DataCenterModel
+        model = DataCenterModel(ClusterConfig(n_samples=288, seed=6))
+        values = model.simulate().values
+        runtime = values["pipeline_runtime@pipeline-1"]
+        latency = values["pipeline_latency@pipeline-1"]
+        assert granger_test(runtime, latency, order=2).significant()

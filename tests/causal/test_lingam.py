@@ -1,0 +1,68 @@
+"""Unit tests for the pairwise LiNGAM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.causal.lingam import DirectionEstimate, direction, pairwise_statistic
+
+
+def laplace_pair(n=4000, weight=0.8, noise=0.6, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.laplace(size=n)
+    y = weight * x + noise * rng.laplace(size=n)
+    return x, y
+
+
+class TestPairwiseStatistic:
+    def test_antisymmetric(self):
+        x, y = laplace_pair()
+        assert pairwise_statistic(x, y) == pytest.approx(
+            -pairwise_statistic(y, x))
+
+    def test_forward_positive_for_true_direction(self):
+        x, y = laplace_pair()
+        assert pairwise_statistic(x, y) > 0
+
+    def test_negative_weight_still_detected(self):
+        rng = np.random.default_rng(1)
+        x = rng.laplace(size=4000)
+        y = -0.8 * x + 0.6 * rng.laplace(size=4000)
+        assert pairwise_statistic(x, y) > 0
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_statistic(np.ones(100), np.arange(100.0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_statistic(np.zeros(10), np.zeros(11))
+
+
+class TestDirection:
+    def test_correct_direction_for_laplace(self):
+        x, y = laplace_pair()
+        estimate = direction(x, y)
+        assert estimate.decided
+        assert estimate.forward is True
+        reverse = direction(y, x)
+        assert reverse.forward is False
+
+    def test_gaussian_undecided(self):
+        """The honest failure mode that motivates ExplainIt!'s human-in-
+        the-loop design: Gaussian noise carries no direction signal."""
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(4000)
+        y = 0.8 * x + 0.6 * rng.standard_normal(4000)
+        estimate = direction(x, y, threshold=0.01)
+        assert not estimate.decided
+        assert estimate.forward is None
+
+    def test_threshold_respected(self):
+        x, y = laplace_pair()
+        strict = direction(x, y, threshold=1e9)
+        assert not strict.decided
+
+    def test_estimate_repr_fields(self):
+        est = DirectionEstimate(forward=True, statistic=0.1,
+                                threshold=0.01)
+        assert est.decided

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sql import Database, Table
+from repro.tsdb import SeriesId, TimeSeriesStore
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_store() -> TimeSeriesStore:
+    """A store with three metrics over 60 minutes."""
+    store = TimeSeriesStore()
+    ts = np.arange(60)
+    store.insert_array(
+        SeriesId.make("runtime", {"pipeline_name": "p1"}), ts,
+        20.0 + np.sin(ts / 5.0))
+    store.insert_array(
+        SeriesId.make("runtime", {"pipeline_name": "p2"}), ts,
+        22.0 + np.cos(ts / 5.0))
+    store.insert_array(
+        SeriesId.make("disk", {"host": "datanode-1",
+                               "type": "read_latency"}), ts,
+        3.0 + 0.1 * ts)
+    return store
+
+
+@pytest.fixture
+def people_table() -> Table:
+    return Table(
+        ["name", "age", "city"],
+        [
+            ("alice", 34, "amsterdam"),
+            ("bob", 28, "berlin"),
+            ("carol", 41, "amsterdam"),
+            ("dave", 28, None),
+        ],
+    )
+
+
+@pytest.fixture
+def db(people_table: Table) -> Database:
+    database = Database()
+    database.register("people", people_table)
+    database.register(
+        "orders",
+        Table(
+            ["order_id", "customer", "amount"],
+            [
+                (1, "alice", 120.0),
+                (2, "alice", 80.0),
+                (3, "bob", 42.0),
+                (4, "erin", 10.0),
+            ],
+        ),
+    )
+    return database

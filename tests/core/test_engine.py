@@ -1,0 +1,132 @@
+"""Unit tests for the interactive session (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ExplainItSession, TimeRanges
+from repro.core.families import FamilyError
+from repro.tsdb import SeriesId, TimeSeriesStore
+
+
+@pytest.fixture
+def causal_store(rng):
+    """Z -> Y -> X world plus noise families."""
+    n = 300
+    store = TimeSeriesStore()
+    ts = np.arange(n)
+    z = 100 + 10 * rng.standard_normal(n)
+    y = 0.5 * z + 4 * rng.standard_normal(n)
+    x = 0.4 * y + 1.5 * rng.standard_normal(n)
+    store.insert_array(SeriesId.make("input_rate"), ts, z)
+    store.insert_array(SeriesId.make("runtime"), ts, y)
+    store.insert_array(SeriesId.make("disk_latency"), ts, x)
+    for i in range(5):
+        store.insert_array(SeriesId.make(f"noise_{i}"), ts,
+                           rng.standard_normal(n))
+    return store
+
+
+class TestTimeRanges:
+    def test_empty_total_range(self):
+        with pytest.raises(ValueError):
+            TimeRanges(10, 10)
+
+    def test_explain_requires_both_ends(self):
+        with pytest.raises(ValueError):
+            TimeRanges(0, 100, explain_start=10)
+
+    def test_explain_must_be_inside_total(self):
+        with pytest.raises(ValueError):
+            TimeRanges(0, 100, explain_start=50, explain_end=150)
+
+    def test_explain_defaults_to_total(self):
+        assert TimeRanges(0, 100).explain == (0, 100)
+
+
+class TestSession:
+    def test_explain_ranks_real_dependencies_first(self, causal_store):
+        session = ExplainItSession(causal_store)
+        session.set_target("runtime")
+        table = session.explain(scorer="L2")
+        top2 = {r.family for r in table.top(2)}
+        assert top2 == {"input_rate", "disk_latency"}
+
+    def test_conditioning_removes_explained_variation(self, causal_store):
+        session = ExplainItSession(causal_store)
+        session.set_target("runtime")
+        unconditioned = session.explain(scorer="L2")
+        session.set_condition("input_rate")
+        conditioned = session.explain(scorer="L2")
+        # input_rate is no longer a hypothesis; disk_latency stays on top.
+        assert conditioned.rank_of("input_rate") is None
+        assert conditioned.results[0].family == "disk_latency"
+        assert unconditioned.rank_of("input_rate") is not None
+
+    def test_search_space_restriction(self, causal_store):
+        session = ExplainItSession(causal_store)
+        session.set_target("runtime")
+        table = session.explain(search=["noise_0", "noise_1"],
+                                scorer="CorrMax")
+        assert {r.family for r in table.results} == {"noise_0", "noise_1"}
+
+    def test_drill_down_records_history(self, causal_store):
+        session = ExplainItSession(causal_store)
+        session.set_target("runtime")
+        session.explain(scorer="CorrMax")
+        session.drill_down(["disk_latency"], scorer="CorrMax")
+        assert len(session.history) == 2
+
+    def test_score_table_registered_for_sql(self, causal_store):
+        session = ExplainItSession(causal_store)
+        session.set_target("runtime")
+        session.explain(scorer="CorrMax")
+        result = session.db.sql(
+            "SELECT family FROM score ORDER BY rank LIMIT 1")
+        assert len(result) == 1
+
+    def test_explain_without_target_fails(self, causal_store):
+        with pytest.raises(FamilyError):
+            ExplainItSession(causal_store).explain()
+
+    def test_time_range_restriction(self, causal_store):
+        session = ExplainItSession(causal_store)
+        session.set_time_ranges(0, 100)
+        session.set_target("runtime")
+        table = session.explain(scorer="CorrMax")
+        assert session.families()["runtime"].n_samples == 100
+        assert table.n_hypotheses == 7
+
+    def test_event_lift_flags_window_anomaly(self, rng):
+        n = 200
+        store = TimeSeriesStore()
+        ts = np.arange(n)
+        spiky = rng.standard_normal(n)
+        spiky[100:120] += 8.0
+        store.insert_array(SeriesId.make("kpi"), ts,
+                           rng.standard_normal(n))
+        store.insert_array(SeriesId.make("spiky"), ts, spiky)
+        session = ExplainItSession(store)
+        session.set_time_ranges(0, n, explain_start=100, explain_end=120)
+        session.set_target("kpi")
+        assert session.event_lift("spiky") > 3.0
+        assert session.event_lift("kpi") < 1.5
+
+    def test_pseudocause_conditioning(self, rng):
+        n, period = 240, 24
+        store = TimeSeriesStore()
+        ts = np.arange(n)
+        seasonal = 5.0 * np.sin(2 * np.pi * ts / period)
+        residual_cause = np.zeros(n)
+        residual_cause[150:170] = 4.0
+        store.insert_array(SeriesId.make("kpi"), ts,
+                           seasonal + residual_cause
+                           + 0.2 * rng.standard_normal(n))
+        store.insert_array(SeriesId.make("seasonal_service"), ts,
+                           seasonal + 0.2 * rng.standard_normal(n))
+        store.insert_array(SeriesId.make("residual_service"), ts,
+                           residual_cause + 0.2 * rng.standard_normal(n))
+        session = ExplainItSession(store)
+        session.set_target("kpi")
+        session.condition_on_pseudocause(period=period)
+        table = session.explain(scorer="L2")
+        assert table.results[0].family == "residual_service"

@@ -1,0 +1,135 @@
+"""Unit tests for event-window detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import (
+    EventWindow,
+    cusum_shift,
+    detect_spikes,
+    rolling_zscores,
+    suggest_explain_range,
+)
+
+
+def spiky_series(rng, n=400, spike_at=250, spike_len=10, height=10.0):
+    series = rng.standard_normal(n)
+    series[spike_at:spike_at + spike_len] += height
+    return series
+
+
+class TestRollingZscores:
+    def test_flat_series_near_zero(self):
+        z = rolling_zscores(np.full(100, 3.0) , window=20)
+        assert z.max() < 1.0
+
+    def test_spike_scores_high(self, rng):
+        series = spiky_series(rng)
+        z = rolling_zscores(series, window=30)
+        assert z[250] > 5.0
+
+    def test_length_preserved(self, rng):
+        assert rolling_zscores(rng.standard_normal(77)).size == 77
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            rolling_zscores(np.zeros(10), window=1)
+
+
+class TestDetectSpikes:
+    def test_finds_injected_spike(self, rng):
+        series = spiky_series(rng, spike_at=250, spike_len=10)
+        windows = detect_spikes(series)
+        assert windows, "expected at least one window"
+        top = windows[0]
+        assert top.start <= 252
+        assert top.end >= 251
+        assert top.severity > 4.0
+
+    def test_no_spikes_in_noise(self, rng):
+        windows = detect_spikes(rng.standard_normal(300), threshold=6.0)
+        assert windows == []
+
+    def test_two_spikes_ranked_by_severity(self, rng):
+        series = rng.standard_normal(500)
+        series[100:105] += 6.0
+        series[300:305] += 15.0
+        windows = detect_spikes(series)
+        assert len(windows) >= 2
+        assert 295 <= windows[0].start <= 305
+
+    def test_nearby_exceedances_merged(self, rng):
+        # Once the first burst enters the trailing window it inflates the
+        # rolling std ("masking"), so the second burst scores lower; a
+        # threshold of 3 keeps both above water to exercise merging.
+        series = rng.standard_normal(300) * 0.1
+        series[100:103] += 5.0
+        series[105:108] += 12.0      # gap of 2 < merge_gap; taller so the
+        # first burst's inflation of the rolling std cannot mask it
+        windows = detect_spikes(series, threshold=3.0, merge_gap=3)
+        covering = [w for w in windows if w.start <= 101 and w.end >= 106]
+        assert covering, windows
+
+    def test_max_windows_respected(self, rng):
+        series = rng.standard_normal(600) * 0.1
+        for pos in range(50, 600, 50):
+            series[pos] += 8.0
+        assert len(detect_spikes(series, max_windows=3)) == 3
+
+
+class TestCusum:
+    def test_detects_level_shift(self, rng):
+        series = np.concatenate([rng.standard_normal(200),
+                                 rng.standard_normal(200) + 3.0])
+        window = cusum_shift(series)
+        assert window is not None
+        assert 180 <= window.start <= 230
+        assert window.end == 400
+
+    def test_detects_downward_shift(self, rng):
+        series = np.concatenate([rng.standard_normal(200),
+                                 rng.standard_normal(200) - 3.0])
+        assert cusum_shift(series) is not None
+
+    def test_stationary_series_none(self, rng):
+        assert cusum_shift(rng.standard_normal(400)) is None
+
+    def test_constant_series_none(self):
+        assert cusum_shift(np.full(100, 2.0)) is None
+
+
+class TestSuggestExplainRange:
+    def test_prefers_spike(self, rng):
+        series = spiky_series(rng)
+        window = suggest_explain_range(series)
+        assert window is not None
+        assert 240 <= window.start <= 255
+
+    def test_falls_back_to_cusum(self, rng):
+        series = np.concatenate([rng.standard_normal(200) * 0.2,
+                                 rng.standard_normal(200) * 0.2 + 3.0])
+        window = suggest_explain_range(series, threshold=50.0)
+        assert window is not None
+        assert window.end == 400
+
+    def test_feeds_session_event_lift(self, rng):
+        """The detected window plugs straight into the session workflow."""
+        from repro.core.engine import ExplainItSession
+        from repro.tsdb import SeriesId, TimeSeriesStore
+        n = 400
+        series = spiky_series(rng, n=n)
+        store = TimeSeriesStore()
+        store.insert_array(SeriesId.make("kpi"), np.arange(n), series)
+        store.insert_array(SeriesId.make("other"), np.arange(n),
+                           rng.standard_normal(n))
+        window = suggest_explain_range(series)
+        session = ExplainItSession(store)
+        session.set_time_ranges(0, n, explain_start=window.start,
+                                explain_end=window.end)
+        session.set_target("kpi")
+        assert session.event_lift("kpi") > 2.0
+
+    def test_event_window_helpers(self):
+        w = EventWindow(start=5, end=9, severity=3.0)
+        assert w.duration == 4
+        assert w.as_tuple() == (5, 9)

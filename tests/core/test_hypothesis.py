@@ -1,0 +1,83 @@
+"""Unit tests for hypothesis triples and generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.families import FamilyError, FamilySet, FeatureFamily
+from repro.core.hypothesis import Hypothesis, generate_hypotheses
+
+
+def fam(name, members=None, n=20, f=1):
+    members = members or [f"{name}:{j}" for j in range(f)]
+    return FeatureFamily(name=name, matrix=np.zeros((n, len(members))),
+                         members=members, grid=np.arange(n))
+
+
+class TestHypothesis:
+    def test_overlap_rejected(self):
+        shared = ["metric-a"]
+        with pytest.raises(FamilyError):
+            Hypothesis(x=fam("x", shared), y=fam("y", shared))
+
+    def test_z_overlap_rejected(self):
+        with pytest.raises(FamilyError):
+            Hypothesis(x=fam("x", ["m1"]), y=fam("y", ["m2"]),
+                       z=fam("z", ["m1"]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FamilyError):
+            Hypothesis(x=fam("x", n=20), y=fam("y", n=30))
+
+    def test_matrices_accessor(self):
+        h = Hypothesis(x=fam("x", f=3), y=fam("y"))
+        x, y, z = h.matrices()
+        assert x.shape == (20, 3)
+        assert y.shape == (20, 1)
+        assert z is None
+
+    def test_name_is_x_family(self):
+        assert Hypothesis(x=fam("abc"), y=fam("y")).name == "abc"
+
+
+class TestGenerateHypotheses:
+    @pytest.fixture
+    def families(self):
+        return FamilySet([fam("target"), fam("a"), fam("b"), fam("c"),
+                          fam("cond")])
+
+    def test_excludes_target_and_condition(self, families):
+        hyps = generate_hypotheses(families, "target", condition="cond")
+        names = {h.name for h in hyps}
+        assert names == {"a", "b", "c"}
+        assert all(h.z.name == "cond" for h in hyps)
+
+    def test_no_condition(self, families):
+        hyps = generate_hypotheses(families, "target")
+        assert len(hyps) == 4
+        assert all(h.z is None for h in hyps)
+
+    def test_search_subset(self, families):
+        hyps = generate_hypotheses(families, "target", search=["a", "b"])
+        assert {h.name for h in hyps} == {"a", "b"}
+
+    def test_explicit_exclusions(self, families):
+        hyps = generate_hypotheses(families, "target", exclude=["a", "c"])
+        assert {h.name for h in hyps} == {"b", "cond"}
+
+    def test_explicit_z_family(self, families):
+        z = fam("pseudo", ["pseudo:trend", "pseudo:seasonal"], f=2)
+        hyps = generate_hypotheses(families, "target", condition=z)
+        assert all(h.z.name == "pseudo" for h in hyps)
+
+    def test_families_overlapping_target_metrics_skipped(self):
+        families = FamilySet([
+            fam("target", ["shared-metric"]),
+            fam("alias_of_target", ["shared-metric"]),
+            fam("clean", ["other-metric"]),
+        ])
+        hyps = generate_hypotheses(families, "target")
+        assert {h.name for h in hyps} == {"clean"}
+
+    def test_unknown_target(self, families):
+        with pytest.raises(FamilyError):
+            generate_hypotheses(families, "zzz")

@@ -1,0 +1,126 @@
+"""Unit tests for the declarative three-stage pipeline (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.families import FamilyError
+from repro.core.pipeline import DeclarativePipeline
+from repro.sql import Database
+from repro.tsdb import SeriesId, TimeSeriesStore
+from repro.tsdb.adapter import register_store
+
+
+@pytest.fixture
+def pipeline_db(rng):
+    n = 200
+    store = TimeSeriesStore()
+    ts = np.arange(n)
+    cause = rng.standard_normal(n)
+    store.insert_array(SeriesId.make("pipeline_runtime",
+                                     {"pipeline_name": "p1"}),
+                       ts, 20 + 3 * cause + 0.3 * rng.standard_normal(n))
+    store.insert_array(SeriesId.make("pipeline_input_rate",
+                                     {"pipeline_name": "p1"}),
+                       ts, 100 + 5 * rng.standard_normal(n))
+    store.insert_array(SeriesId.make("net_retransmits", {"host": "dn-1"}),
+                       ts, np.maximum(2 + 4 * cause
+                                      + 0.5 * rng.standard_normal(n), 0))
+    store.insert_array(SeriesId.make("cpu_util", {"host": "dn-1"}),
+                       ts, 40 + 4 * rng.standard_normal(n))
+    db = Database()
+    register_store(db, store)
+    return db
+
+
+FEATURE_QUERIES = [
+    """SELECT timestamp, metric_name, AVG(value) AS v FROM tsdb
+       WHERE metric_name IN ('net_retransmits', 'cpu_util')
+       GROUP BY timestamp, metric_name ORDER BY timestamp""",
+]
+
+TARGET_QUERY = """
+    SELECT timestamp, metric_name, AVG(value) AS runtime FROM tsdb
+    WHERE metric_name = 'pipeline_runtime'
+    GROUP BY timestamp, metric_name ORDER BY timestamp
+"""
+
+CONDITION_QUERY = """
+    SELECT timestamp, metric_name, AVG(value) AS input_events FROM tsdb
+    WHERE metric_name = 'pipeline_input_rate'
+    GROUP BY timestamp, metric_name ORDER BY timestamp
+"""
+
+
+class TestDeclarativePipeline:
+    def test_stage1_builds_feature_family_table(self, pipeline_db):
+        pipeline = DeclarativePipeline(pipeline_db)
+        table = pipeline.add_feature_queries(FEATURE_QUERIES)
+        assert table.columns == ["timestamp", "name", "v"]
+        families = {row[1] for row in table.rows}
+        assert families == {"net_retransmits", "cpu_util"}
+        # Registered for further SQL interrogation.
+        assert pipeline_db.sql(
+            "SELECT COUNT(*) FROM feature_family").rows[0][0] == len(table)
+
+    def test_end_to_end_ranking(self, pipeline_db):
+        pipeline = DeclarativePipeline(pipeline_db)
+        pipeline.add_feature_queries(FEATURE_QUERIES)
+        pipeline.set_target_query(TARGET_QUERY)
+        score_table = pipeline.run(scorer="L2")
+        assert score_table.results[0].family == "net_retransmits"
+        # Score table queryable via SQL (stage 3 of Figure 4).
+        top = pipeline_db.sql(
+            "SELECT family FROM score WHERE rank = 1")
+        assert top.rows == [("net_retransmits",)]
+
+    def test_conditioning_stage(self, pipeline_db):
+        pipeline = DeclarativePipeline(pipeline_db)
+        pipeline.add_feature_queries(FEATURE_QUERIES)
+        pipeline.set_target_query(TARGET_QUERY)
+        pipeline.set_condition_query(CONDITION_QUERY)
+        hyps = pipeline.build_hypotheses()
+        assert all(h.z is not None for h in hyps)
+        assert {h.name for h in hyps} == {"net_retransmits", "cpu_util"}
+
+    def test_missing_target_fails(self, pipeline_db):
+        pipeline = DeclarativePipeline(pipeline_db)
+        pipeline.add_feature_queries(FEATURE_QUERIES)
+        with pytest.raises(FamilyError):
+            pipeline.build_hypotheses()
+
+    def test_missing_features_fails(self, pipeline_db):
+        pipeline = DeclarativePipeline(pipeline_db)
+        pipeline.set_target_query(TARGET_QUERY)
+        with pytest.raises(FamilyError):
+            pipeline.build_hypotheses()
+
+    def test_multi_family_target_rejected(self, pipeline_db):
+        pipeline = DeclarativePipeline(pipeline_db)
+        pipeline.add_feature_queries(FEATURE_QUERIES)
+        pipeline.set_target_query("""
+            SELECT timestamp, metric_name, AVG(value) AS v FROM tsdb
+            GROUP BY timestamp, metric_name
+        """)
+        with pytest.raises(FamilyError):
+            pipeline.build_hypotheses()
+
+    def test_prefixes(self, pipeline_db):
+        pipeline = DeclarativePipeline(pipeline_db)
+        table = pipeline.add_feature_queries(FEATURE_QUERIES,
+                                             prefixes=["net/"])
+        assert all(row[1].startswith("net/") for row in table.rows)
+
+    def test_prefix_arity_checked(self, pipeline_db):
+        pipeline = DeclarativePipeline(pipeline_db)
+        with pytest.raises(FamilyError):
+            pipeline.add_feature_queries(FEATURE_QUERIES,
+                                         prefixes=["a", "b"])
+
+    def test_clearing_condition(self, pipeline_db):
+        pipeline = DeclarativePipeline(pipeline_db)
+        pipeline.add_feature_queries(FEATURE_QUERIES)
+        pipeline.set_target_query(TARGET_QUERY)
+        pipeline.set_condition_query(CONDITION_QUERY)
+        pipeline.set_condition_query(None)
+        hyps = pipeline.build_hypotheses()
+        assert all(h.z is None for h in hyps)

@@ -1,0 +1,126 @@
+"""Unit tests for seasonal decomposition and pseudocauses (§3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pseudocause import (
+    DecompositionError,
+    decompose,
+    estimate_period,
+    moving_average,
+    pseudocauses,
+)
+
+
+def seasonal_series(n=240, period=24, amplitude=3.0, trend=0.02,
+                    noise=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return (10.0 + trend * t
+            + amplitude * np.sin(2 * np.pi * t / period)
+            + noise * rng.standard_normal(n))
+
+
+class TestMovingAverage:
+    def test_constant_series_unchanged(self):
+        s = np.full(20, 5.0)
+        assert moving_average(s, 5) == pytest.approx(s)
+
+    def test_window_one_is_identity(self):
+        s = np.arange(10.0)
+        assert np.array_equal(moving_average(s, 1), s)
+
+    def test_smooths_noise(self, rng):
+        s = rng.standard_normal(500)
+        assert moving_average(s, 25).std() < s.std() / 2
+
+    def test_bad_window(self):
+        with pytest.raises(DecompositionError):
+            moving_average(np.zeros(5), 0)
+
+
+class TestDecompose:
+    def test_exact_reconstruction(self):
+        s = seasonal_series()
+        d = decompose(s, 24)
+        assert d.reconstruct() == pytest.approx(s, abs=1e-9)
+
+    def test_seasonal_component_recovered(self):
+        s = seasonal_series(amplitude=5.0, noise=0.1)
+        d = decompose(s, 24)
+        expected = 5.0 * np.sin(2 * np.pi * np.arange(240) / 24)
+        corr = np.corrcoef(d.seasonal, expected)[0, 1]
+        assert corr > 0.98
+
+    def test_trend_component_monotone_for_trendy_series(self):
+        s = seasonal_series(trend=0.1, amplitude=1.0, noise=0.05)
+        d = decompose(s, 24)
+        fitted_slope = np.polyfit(np.arange(240), d.trend, 1)[0]
+        assert fitted_slope == pytest.approx(0.1, abs=0.02)
+
+    def test_seasonal_is_zero_mean(self):
+        d = decompose(seasonal_series(), 24)
+        assert abs(d.seasonal.mean()) < 1e-9
+
+    def test_residual_captures_spike(self):
+        s = seasonal_series(noise=0.05)
+        s[120] += 20.0
+        d = decompose(s, 24)
+        assert d.residual[120] > 10.0
+
+    def test_too_short_series(self):
+        with pytest.raises(DecompositionError):
+            decompose(np.zeros(30), 24)
+
+    def test_bad_period(self):
+        with pytest.raises(DecompositionError):
+            decompose(np.zeros(100), 1)
+
+
+class TestEstimatePeriod:
+    def test_finds_true_period(self):
+        s = seasonal_series(period=24, amplitude=5.0, noise=0.1, trend=0.0)
+        assert estimate_period(s) in range(22, 27)
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(DecompositionError):
+            estimate_period(np.full(100, 2.0))
+
+    def test_too_short(self):
+        with pytest.raises(DecompositionError):
+            estimate_period(np.zeros(4), max_period=50, min_period=60)
+
+
+class TestPseudocauses:
+    def test_shape(self):
+        z = pseudocauses(seasonal_series(), period=24)
+        assert z.shape == (240, 2)
+
+    def test_period_estimated_when_missing(self):
+        s = seasonal_series(period=24, amplitude=5.0, noise=0.1, trend=0.0)
+        z = pseudocauses(s)
+        assert z.shape == (240, 2)
+
+    def test_conditioning_on_pseudocause_reveals_residual_cause(self):
+        """The Figure 3 experiment: conditioning on Ys exposes Cr."""
+        from repro.scoring import L2Scorer
+        rng = np.random.default_rng(3)
+        n, period = 240, 24
+        seasonal = 5.0 * np.sin(2 * np.pi * np.arange(n) / period)
+        cr = np.zeros(n)
+        cr[100:115] = 4.0                      # residual cause activity
+        y = (seasonal + cr + 0.2 * rng.standard_normal(n))[:, None]
+        cs_proxy = (seasonal + 0.2 * rng.standard_normal(n))[:, None]
+        cr_proxy = (cr + 0.2 * rng.standard_normal(n))[:, None]
+        z = pseudocauses(y, period=period)
+        scorer = L2Scorer()
+        # Unconditioned: the seasonal proxy dominates.
+        assert scorer.score(cs_proxy, y) > scorer.score(cr_proxy, y)
+        # Conditioned on the pseudocause: Cr wins, Cs is blocked.
+        assert scorer.score(cr_proxy, y, z) > scorer.score(cs_proxy, y, z)
+        assert scorer.score(cs_proxy, y, z) < 0.2
+
+    def test_2d_target_uses_first_column(self):
+        s = seasonal_series()
+        y = np.column_stack([s, np.zeros_like(s)])
+        assert pseudocauses(y, period=24).shape == (240, 2)

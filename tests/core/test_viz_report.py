@@ -1,0 +1,145 @@
+"""Unit tests for the viz module and diagnostic reports (Appendix D)."""
+
+import numpy as np
+import pytest
+
+from repro import viz
+from repro.core.families import FamilySet, FeatureFamily
+from repro.core.hypothesis import Hypothesis, generate_hypotheses
+from repro.core.ranking import rank_families
+from repro.core.report import DiagnosticReport, diagnose
+
+
+class TestSparkline:
+    def test_length_matches_width(self, rng):
+        assert len(viz.sparkline(rng.standard_normal(500), width=40)) == 40
+
+    def test_short_series_unpooled(self):
+        assert len(viz.sparkline(np.arange(5.0), width=60)) == 5
+
+    def test_constant_series_flat(self):
+        line = viz.sparkline(np.full(30, 2.0), width=30)
+        assert set(line) == {"▁"}
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = viz.sparkline(np.arange(8.0), width=8)
+        indexes = ["▁▂▃▄▅▆▇█".index(c) for c in line]
+        assert indexes == sorted(indexes)
+
+    def test_empty(self):
+        assert viz.sparkline(np.empty(0)) == ""
+
+
+class TestLinePlot:
+    def test_dimensions(self, rng):
+        text = viz.line_plot(rng.standard_normal(100), width=50, height=6)
+        lines = text.splitlines()
+        assert len(lines) == 6
+        assert all(len(l) <= 50 + 11 for l in lines)
+
+    def test_empty_series(self):
+        assert "empty" in viz.line_plot(np.empty(0))
+
+    def test_label_appended(self):
+        text = viz.line_plot(np.arange(10.0), label="runtime")
+        assert text.splitlines()[-1].strip() == "runtime"
+
+
+class TestOverlayPlot:
+    def test_markers_present(self, rng):
+        target = rng.standard_normal(100)
+        pred = target + 0.1 * rng.standard_normal(100)
+        text = viz.overlay_plot(target, pred, width=40, height=8)
+        assert "●" in text or "◉" in text
+        assert "observed Y" in text
+
+    def test_identical_series_coincide(self):
+        series = np.sin(np.arange(50) / 5.0)
+        text = viz.overlay_plot(series, series, width=50, height=8)
+        body = "\n".join(text.splitlines()[:-1])   # drop the legend line
+        assert "◉" in body
+        assert "●" not in body
+        assert "○" not in body
+
+
+class TestHistogram:
+    def test_counts_sum(self, rng):
+        values = rng.standard_normal(200)
+        text = viz.histogram(values, bins=10)
+        counts = [int(line.rsplit(" ", 1)[-1])
+                  for line in text.splitlines() if "┤" in line]
+        assert sum(counts) == 200
+
+    def test_empty(self):
+        assert "empty" in viz.histogram(np.empty(0))
+
+
+@pytest.fixture
+def ranked_world(rng):
+    n = 200
+    target = rng.standard_normal(n)
+    fams = [
+        FeatureFamily("target", target[:, None], ["t"], np.arange(n)),
+        FeatureFamily("good", (target + 0.2 * rng.standard_normal(n))
+                      [:, None], ["g"], np.arange(n)),
+        FeatureFamily("noise", rng.standard_normal((n, 1)), ["n"],
+                      np.arange(n)),
+    ]
+    families = FamilySet(fams)
+    hyps = generate_hypotheses(families, "target")
+    table = rank_families(hyps, scorer="L2")
+    return hyps, table
+
+
+class TestDiagnose:
+    def test_good_fit_has_low_event_ratio(self, ranked_world):
+        hyps, table = ranked_world
+        good = next(h for h in hyps if h.name == "good")
+        diag = diagnose(good, table.score_of("good"),
+                        event_window=(50, 70))
+        assert diag.event_residual_ratio() < 2.0
+        assert "family: good" in diag.render()
+
+    def test_figure14_pattern_flagged(self, rng):
+        """High overall score, unexplained event window -> warning."""
+        n = 300
+        saw = (np.arange(n) % 40) / 40.0 * 10.0
+        spike = np.zeros(n)
+        spike[200:210] = 20.0
+        target = saw + spike + 0.2 * rng.standard_normal(n)
+        x = saw + 0.2 * rng.standard_normal(n)
+        hypothesis = Hypothesis(
+            x=FeatureFamily("temp", x[:, None], ["x"], np.arange(n)),
+            y=FeatureFamily("kpi", target[:, None], ["y"], np.arange(n)),
+        )
+        diag = diagnose(hypothesis, 0.9, event_window=(200, 210))
+        assert diag.event_residual_ratio() > 2.0
+        assert "WARNING" in diag.render()
+
+    def test_conditional_diagnosis_residualises(self, rng):
+        n = 200
+        z = rng.standard_normal(n)
+        y = z + 0.2 * rng.standard_normal(n)
+        x = rng.standard_normal(n)
+        hypothesis = Hypothesis(
+            x=FeatureFamily("x", x[:, None], ["x"], np.arange(n)),
+            y=FeatureFamily("y", y[:, None], ["y"], np.arange(n)),
+            z=FeatureFamily("z", z[:, None], ["z"], np.arange(n)),
+        )
+        diag = diagnose(hypothesis, 0.0)
+        # Residualised target has the z-driven variation removed.
+        assert diag.target.std() < y.std()
+
+
+class TestDiagnosticReport:
+    def test_for_ranking(self, ranked_world):
+        hyps, table = ranked_world
+        report = DiagnosticReport.for_ranking(hyps, table, k=2)
+        assert len(report.diagnostics) == 2
+        text = report.render()
+        assert "family: good" in text
+
+    def test_suspicious_empty_without_event_window(self, ranked_world):
+        hyps, table = ranked_world
+        report = DiagnosticReport.for_ranking(hyps, table, k=2)
+        assert report.suspicious() == []

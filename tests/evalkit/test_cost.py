@@ -1,0 +1,51 @@
+"""Unit tests for the cost-curve measurement (Table 2)."""
+
+import pytest
+
+from repro.evalkit.cost import (
+    fit_growth_exponent,
+    format_cost_table,
+    measure_cost_curve,
+    CostSample,
+)
+
+
+class TestMeasureCostCurve:
+    def test_samples_structure(self):
+        samples = measure_cost_curve("CorrMax", widths=(4, 8),
+                                     n_samples=80, repeats=1)
+        assert [s.nx for s in samples] == [4, 8]
+        assert all(s.seconds > 0 for s in samples)
+        assert all(s.scorer == "CorrMax" for s in samples)
+
+    def test_joint_more_expensive_than_univariate(self):
+        cheap = measure_cost_curve("CorrMax", widths=(32,),
+                                   n_samples=150, repeats=2)[0]
+        pricey = measure_cost_curve("L2", widths=(32,),
+                                    n_samples=150, repeats=2)[0]
+        assert pricey.seconds > cheap.seconds
+
+
+class TestGrowthExponent:
+    def test_linear_data_slope_one(self):
+        samples = [CostSample("s", 100, nx, 1, nx * 1e-3)
+                   for nx in (8, 16, 32, 64)]
+        assert fit_growth_exponent(samples) == pytest.approx(1.0)
+
+    def test_quadratic_data_slope_two(self):
+        samples = [CostSample("s", 100, nx, 1, nx * nx * 1e-5)
+                   for nx in (8, 16, 32, 64)]
+        assert fit_growth_exponent(samples) == pytest.approx(2.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_growth_exponent([CostSample("s", 1, 1, 1, 1.0)])
+
+
+class TestFormatCostTable:
+    def test_rendering(self):
+        curves = {"CorrMax": [CostSample("CorrMax", 100, 8, 1, 0.001),
+                              CostSample("CorrMax", 100, 16, 1, 0.002)]}
+        text = format_cost_table(curves)
+        assert "CorrMax" in text
+        assert "slope" in text

@@ -1,0 +1,88 @@
+"""Unit tests for the Table 6 harness (on a reduced incident suite)."""
+
+import pytest
+
+from repro.evalkit import evaluate_scorers, format_table6, timing_summary
+from repro.workloads.incidents import IncidentSpec, make_incident
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    incidents = [
+        make_incident(IncidentSpec(1, "univariate", n_background=10,
+                                   n_large_families=0, n_samples=120,
+                                   seed=1)),
+        make_incident(IncidentSpec(2, "joint", n_background=10,
+                                   n_large_families=0, n_samples=120,
+                                   cause_features=20, joint_noise=2.0,
+                                   seed=2)),
+    ]
+    return evaluate_scorers(incidents, scorers=("CorrMax", "L2"),
+                            ks=(1, 5, 20))
+
+
+class TestEvaluateScorers:
+    def test_grid_complete(self, small_result):
+        assert len(small_result.outcomes) == 4    # 2 incidents x 2 scorers
+        assert small_result.incidents == ["incident-1", "incident-2"]
+
+    def test_outcome_fields(self, small_result):
+        outcome = small_result.outcomes[0]
+        assert outcome.n_families > 10
+        assert outcome.gain is None or 0.0 < outcome.gain <= 1.0
+        assert set(outcome.success) == {1, 5, 20}
+
+    def test_success_monotone_in_k(self, small_result):
+        for outcome in small_result.outcomes:
+            assert outcome.success[1] <= outcome.success[5] \
+                <= outcome.success[20]
+
+    def test_gain_consistent_with_rank(self, small_result):
+        for outcome in small_result.outcomes:
+            if outcome.gain is not None:
+                assert outcome.first_cause_rank is not None
+                assert outcome.gain == pytest.approx(
+                    1.0 / outcome.first_cause_rank)
+
+    def test_summary_contains_success_rates(self, small_result):
+        summary = small_result.summary("L2")
+        assert {"harmonic_mean", "average", "stdev", "success@20"} \
+            <= set(summary)
+        assert 0.0 <= summary["success@20"] <= 1.0
+
+    def test_by_scorer_slicing(self, small_result):
+        rows = small_result.by_scorer("CorrMax")
+        assert len(rows) == 2
+        assert all(o.scorer == "CorrMax" for o in rows)
+
+
+class TestFormatting:
+    def test_table6_layout(self, small_result):
+        text = format_table6(small_result)
+        assert "incident-1" in text
+        assert "Harmonic mean (discounted gain)" in text
+        assert "Success (%) top-20" in text
+        assert "CorrMax" in text and "L2" in text
+
+    def test_failures_rendered_as_hyphen(self, small_result):
+        text = format_table6(small_result)
+        # A '-' appears iff some gain is None.
+        has_failure = any(o.gain is None for o in small_result.outcomes)
+        lines = [l for l in text.splitlines() if l.startswith("incident")]
+        rendered_failure = any(" -" in l for l in lines)
+        assert rendered_failure == has_failure
+
+
+class TestTimingSummary:
+    def test_figure10_quantities(self, small_result):
+        timings = timing_summary(small_result)
+        for scorer in ("CorrMax", "L2"):
+            stats = timings[scorer]
+            assert stats["mean_seconds_per_family"] > 0.0
+            assert stats["max_seconds_per_family"] >= \
+                stats["mean_seconds_per_family"]
+
+    def test_joint_slower_than_univariate(self, small_result):
+        timings = timing_summary(small_result)
+        assert timings["L2"]["mean_seconds_per_family"] > \
+            timings["CorrMax"]["mean_seconds_per_family"]

@@ -1,0 +1,103 @@
+"""Unit tests for ranking metrics (§6.1)."""
+
+import pytest
+
+from repro.evalkit.metrics import (
+    FAILURE_SCORE,
+    discounted_gain,
+    first_cause_rank,
+    log_discounted_gain,
+    random_ranking_expected_gain,
+    success_at_k,
+    summarize_gains,
+)
+
+
+RANKING = ["effect_a", "effect_b", "cause_1", "noise", "cause_2"]
+
+
+class TestFirstCauseRank:
+    def test_basic(self):
+        assert first_cause_rank(RANKING, {"cause_1", "cause_2"}) == 3
+
+    def test_cutoff_makes_failure(self):
+        assert first_cause_rank(RANKING, {"cause_2"}, cutoff=4) is None
+
+    def test_no_cause(self):
+        assert first_cause_rank(RANKING, {"zzz"}) is None
+
+    def test_first_position(self):
+        assert first_cause_rank(RANKING, {"effect_a"}) == 1
+
+
+class TestGains:
+    def test_discounted_gain_is_reciprocal_rank(self):
+        assert discounted_gain(RANKING, {"cause_1"}) == pytest.approx(1 / 3)
+
+    def test_failure_is_none(self):
+        assert discounted_gain(RANKING, {"zzz"}) is None
+
+    def test_log_gain(self):
+        assert log_discounted_gain(RANKING, {"effect_a"}) == 1.0
+        assert log_discounted_gain(RANKING, {"cause_1"}) == \
+            pytest.approx(0.5)
+
+    def test_log_gain_gentler_than_zipfian(self):
+        zipf = discounted_gain(RANKING, {"cause_1"})
+        log = log_discounted_gain(RANKING, {"cause_1"})
+        assert log > zipf
+
+
+class TestSuccessAtK:
+    def test_thresholds(self):
+        causes = {"cause_1"}
+        assert not success_at_k(RANKING, causes, 1)
+        assert not success_at_k(RANKING, causes, 2)
+        assert success_at_k(RANKING, causes, 3)
+        assert success_at_k(RANKING, causes, 20)
+
+
+class TestSummaries:
+    def test_harmonic_mean_with_failures(self):
+        stats = summarize_gains([1.0, None])
+        # harmonic mean of (1.0, 0.001) = 2 / (1 + 1000)
+        assert stats["harmonic_mean"] == pytest.approx(2 / 1001.0)
+        assert stats["failures"] == 1
+
+    def test_average_imputes_zero(self):
+        stats = summarize_gains([1.0, None])
+        assert stats["average"] == 0.5
+
+    def test_no_failures(self):
+        stats = summarize_gains([0.5, 0.25])
+        assert stats["failures"] == 0
+        assert stats["harmonic_mean"] == pytest.approx(1 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_gains([])
+
+    def test_failure_score_constant(self):
+        assert FAILURE_SCORE == 0.001
+
+
+class TestRandomBaseline:
+    def test_probability_sums(self):
+        """Expected gain for 1 cause among n uniformly: sum over ranks."""
+        # n=2, 1 cause: E = 0.5*1 + 0.5*0.5 = 0.75
+        assert random_ranking_expected_gain(2, 1, cutoff=20) == \
+            pytest.approx(0.75)
+
+    def test_large_n_much_worse_than_corrmean(self):
+        """The paper's note: random ranking scores far below CorrMean."""
+        expected = random_ranking_expected_gain(800, 1)
+        assert expected < 0.02
+
+    def test_more_causes_help(self):
+        one = random_ranking_expected_gain(100, 1)
+        five = random_ranking_expected_gain(100, 5)
+        assert five > one
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_ranking_expected_gain(0, 1)

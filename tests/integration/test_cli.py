@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explain_args(self):
+        args = build_parser().parse_args(
+            ["explain", "5.1", "--scorer", "L2", "--top", "5"])
+        assert args.scenario == "5.1"
+        assert args.scorer == "L2"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "9.9"])
+
+
+class TestCommands:
+    def test_scorers_lists_registry(self, capsys):
+        assert main(["scorers"]) == 0
+        out = capsys.readouterr().out
+        assert "l2-p50" in out
+
+    def test_scenarios_lists_builtins(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "5.1" in out and "5.4" in out
+
+    def test_explain_runs_ranking(self, capsys):
+        assert main(["explain", "fig14", "--scorer", "CorrMax",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+        assert "cpu_temperature" in out
+
+    def test_explain_with_condition_none(self, capsys):
+        assert main(["explain", "fig14", "--scorer", "CorrMax",
+                     "--condition", "none"]) == 0
+
+    def test_sql_query(self, capsys):
+        assert main(["sql", "fig14",
+                     "SELECT metric_name, COUNT(*) c FROM tsdb "
+                     "GROUP BY metric_name ORDER BY metric_name "
+                     "LIMIT 3"]) == 0
+        out = capsys.readouterr().out
+        assert "background_0" in out
+
+    def test_sql_error_reported(self, capsys):
+        assert main(["sql", "fig14", "SELEKT broken"]) == 1
+        err = capsys.readouterr().err
+        assert "SQL error" in err
+
+    def test_table6_small(self, capsys):
+        assert main(["table6", "--scale", "0.15", "--samples", "120",
+                     "--scorers", "CorrMax", "L2"]) == 0
+        out = capsys.readouterr().out
+        assert "Harmonic mean" in out
+        assert "incident-11" in out

@@ -1,0 +1,77 @@
+"""Unit tests for grid-search CV and out-of-fold scoring."""
+
+import numpy as np
+import pytest
+
+from repro.linmodel import GridSearchCV, cross_val_r2
+
+
+class TestCrossValR2:
+    def test_strong_signal_scores_high(self, rng):
+        x = rng.standard_normal((200, 3))
+        y = x @ np.array([1.0, 2.0, -1.0]) + 0.1 * rng.standard_normal(200)
+        result = cross_val_r2(x, y)
+        assert result.best_score > 0.9
+
+    def test_pure_noise_scores_near_zero(self, rng):
+        x = rng.standard_normal((200, 30))
+        y = rng.standard_normal(200)
+        result = cross_val_r2(x, y)
+        assert result.best_score < 0.1
+
+    def test_noise_prefers_heavy_penalty(self, rng):
+        """Figure 13's behaviour: CV selects large λ under the NULL."""
+        x = rng.standard_normal((150, 50))
+        y = rng.standard_normal(150)
+        result = cross_val_r2(x, y, alphas=(0.1, 10.0, 1000.0))
+        assert result.best_alpha >= 10.0
+
+    def test_scores_clipped_at_zero(self, rng):
+        x = rng.standard_normal((40, 20))
+        y = rng.standard_normal(40)
+        result = cross_val_r2(x, y)
+        assert all(v >= 0.0 for v in result.scores_by_alpha.values())
+
+    def test_result_metadata(self, rng):
+        x = rng.standard_normal((50, 4))
+        y = rng.standard_normal(50)
+        result = cross_val_r2(x, y, alphas=(1.0, 2.0))
+        assert result.n_samples == 50
+        assert result.n_features == 4
+        assert set(result.scores_by_alpha) == {1.0, 2.0}
+        assert "best_alpha" in result.as_dict()
+
+    def test_constant_target_scores_zero(self, rng):
+        x = rng.standard_normal((60, 2))
+        y = np.full(60, 7.0)
+        assert cross_val_r2(x, y).best_score == 0.0
+
+    def test_multi_output_target(self, rng):
+        x = rng.standard_normal((100, 3))
+        y = np.column_stack([x @ np.ones(3), rng.standard_normal(100)])
+        result = cross_val_r2(x, y)
+        # One explained output + one noise output -> intermediate score.
+        assert 0.2 < result.best_score < 0.9
+
+
+class TestGridSearchCV:
+    def test_l2_end_to_end(self, rng):
+        x = rng.standard_normal((120, 4))
+        y = x @ np.array([2.0, 0.0, 0.0, 1.0]) + 0.2 * rng.standard_normal(120)
+        search = GridSearchCV().fit(x, y)
+        assert search.best_score_ > 0.8
+        assert search.predict(x).shape == (120,)
+
+    def test_l1_end_to_end(self, rng):
+        x = rng.standard_normal((120, 4))
+        y = 2.0 * x[:, 0] + 0.2 * rng.standard_normal(120)
+        search = GridSearchCV(alphas=(0.01, 0.1), penalty="l1").fit(x, y)
+        assert search.best_score_ > 0.7
+
+    def test_bad_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            GridSearchCV(penalty="elastic")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GridSearchCV().predict(np.zeros((3, 1)))

@@ -1,0 +1,81 @@
+"""Unit tests for the L2 (and L1) joint scorers."""
+
+import numpy as np
+import pytest
+
+from repro.scoring import L2Scorer, L1Scorer, get_scorer
+
+
+class TestL2Scorer:
+    def test_strong_joint_signal(self, rng):
+        x = rng.standard_normal((240, 4))
+        y = (x @ np.array([1.0, -1.0, 0.5, 0.2]))[:, None] \
+            + 0.2 * rng.standard_normal((240, 1))
+        assert L2Scorer().score(x, y) > 0.85
+
+    def test_noise_scores_zero(self, rng):
+        x = rng.standard_normal((240, 30))
+        y = rng.standard_normal((240, 1))
+        assert L2Scorer().score(x, y) < 0.05
+
+    def test_joint_code_beats_univariate(self, rng):
+        """§6.1: features that only jointly explain the target."""
+        from repro.scoring import CorrMaxScorer
+        f = 40
+        code = rng.choice((-1.0, 1.0), f) / np.sqrt(f)
+        signal = rng.standard_normal(240)
+        x = np.outer(signal, 3.0 * code) + 2.0 * rng.standard_normal((240, f))
+        y = signal[:, None] + 0.3 * rng.standard_normal((240, 1))
+        joint = L2Scorer().score(x, y)
+        univariate = CorrMaxScorer().score(x, y)
+        assert joint > 0.3
+        assert joint > univariate
+
+    def test_overfit_controlled_by_cv(self, rng):
+        """p close to n would give OLS r² ~ 1; CV keeps it near 0."""
+        x = rng.standard_normal((120, 100))
+        y = rng.standard_normal((120, 1))
+        assert L2Scorer().score(x, y) < 0.15
+
+    def test_conditional_scoring_blocks_chain(self, rng):
+        """Chain X -> Z -> Y: conditioning on Z removes dependence."""
+        x = rng.standard_normal((400, 1))
+        z = x + 0.3 * rng.standard_normal((400, 1))
+        y = z + 0.3 * rng.standard_normal((400, 1))
+        assert L2Scorer().score(x, y) > 0.5
+        assert L2Scorer().score(x, y, z) < 0.1
+
+    def test_conditional_keeps_direct_link(self, rng):
+        """X -> Y with irrelevant Z: conditioning must not destroy it."""
+        x = rng.standard_normal((300, 2))
+        y = (x @ np.ones(2))[:, None] + 0.3 * rng.standard_normal((300, 1))
+        z = rng.standard_normal((300, 2))
+        assert L2Scorer().score(x, y, z) > 0.6
+
+    def test_score_clipped_to_unit_interval(self, rng):
+        s = L2Scorer().score(rng.standard_normal((60, 5)),
+                             rng.standard_normal((60, 1)))
+        assert 0.0 <= s <= 1.0
+
+    def test_registry_lookup(self):
+        assert get_scorer("L2").name == "L2"
+        assert get_scorer("l2").name == "L2"
+
+
+class TestL1Scorer:
+    def test_sparse_signal(self, rng):
+        x = rng.standard_normal((200, 10))
+        y = (2.0 * x[:, 0])[:, None] + 0.2 * rng.standard_normal((200, 1))
+        assert L1Scorer().score(x, y) > 0.7
+
+    def test_noise_scores_low(self, rng):
+        x = rng.standard_normal((150, 10))
+        y = rng.standard_normal((150, 1))
+        assert L1Scorer().score(x, y) < 0.1
+
+    def test_l1_l2_agree_on_strong_signal(self, rng):
+        x = rng.standard_normal((200, 5))
+        y = (x @ np.ones(5))[:, None] + 0.2 * rng.standard_normal((200, 1))
+        l1 = L1Scorer().score(x, y)
+        l2 = L2Scorer().score(x, y)
+        assert abs(l1 - l2) < 0.15

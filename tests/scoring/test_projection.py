@@ -1,0 +1,89 @@
+"""Unit tests for random-projection scorers."""
+
+import numpy as np
+import pytest
+
+from repro.scoring import ProjectedL2Scorer, random_projection
+from repro.scoring.projection import PcaL2Scorer
+
+
+class TestRandomProjection:
+    def test_pass_through_when_small(self, rng):
+        x = rng.standard_normal((50, 10))
+        out = random_projection(x, 50, rng)
+        assert out is x
+
+    def test_reduces_width(self, rng):
+        x = rng.standard_normal((50, 200))
+        out = random_projection(x, 50, rng)
+        assert out.shape == (50, 50)
+
+    def test_approximate_norm_preservation(self, rng):
+        """Johnson-Lindenstrauss flavour: scaled sketch keeps norms."""
+        x = rng.standard_normal((20, 2000))
+        out = random_projection(x, 500, rng)
+        ratios = np.linalg.norm(out, axis=1) / np.linalg.norm(x, axis=1)
+        assert np.all((ratios > 0.8) & (ratios < 1.2))
+
+
+class TestProjectedL2Scorer:
+    def test_name_encodes_dimension(self):
+        assert ProjectedL2Scorer(d=50).name == "L2-P50"
+        assert ProjectedL2Scorer(d=500).name == "L2-P500"
+
+    def test_small_input_matches_l2(self, rng):
+        from repro.scoring import L2Scorer
+        x = rng.standard_normal((100, 5))
+        y = (x @ np.ones(5))[:, None] + 0.2 * rng.standard_normal((100, 1))
+        p = ProjectedL2Scorer(d=50).score(x, y)
+        l2 = L2Scorer().score(x, y)
+        assert p == pytest.approx(l2)
+
+    def test_wide_signal_survives_projection(self, rng):
+        f = 300
+        code = rng.choice((-1.0, 1.0), f) / np.sqrt(f)
+        signal = rng.standard_normal(200)
+        x = np.outer(signal, 3.0 * code) + rng.standard_normal((200, f))
+        y = signal[:, None] + 0.3 * rng.standard_normal((200, 1))
+        assert ProjectedL2Scorer(d=50).score(x, y) > 0.3
+
+    def test_wide_noise_stays_low(self, rng):
+        x = rng.standard_normal((150, 300))
+        y = rng.standard_normal((150, 1))
+        assert ProjectedL2Scorer(d=50).score(x, y) < 0.1
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.standard_normal((100, 200))
+        y = rng.standard_normal((100, 1))
+        a = ProjectedL2Scorer(d=20, seed=3).score(x, y)
+        b = ProjectedL2Scorer(d=20, seed=3).score(x, y)
+        assert a == b
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            ProjectedL2Scorer(d=0)
+        with pytest.raises(ValueError):
+            ProjectedL2Scorer(d=10, n_projections=0)
+
+
+class TestPcaScorerAblation:
+    def test_pca_discards_anomaly_random_projection_keeps_it(self, rng):
+        """§4.2's claim: PCA models normal behaviour and can drop the
+        anomalous direction that actually explains the target."""
+        n, f = 300, 80
+        # Dominant "normal" variation: a few high-variance directions.
+        normal = rng.standard_normal((n, 4)) @ (
+            3.0 * rng.standard_normal((4, f)))
+        # A recurring low-variance anomaly direction drives the target
+        # (recurring so every CV training fold sees it).
+        anomaly = ((np.arange(n) % 50) < 8).astype(float)
+        direction = rng.standard_normal(f)
+        direction /= np.linalg.norm(direction)
+        x = normal + np.outer(anomaly, 3.0 * direction) \
+            + 0.3 * rng.standard_normal((n, f))
+        y = anomaly[:, None] + 0.05 * rng.standard_normal((n, 1))
+        pca_score = PcaL2Scorer(d=3).score(x, y)
+        rp_score = ProjectedL2Scorer(d=40, seed=0).score(x, y)
+        assert rp_score > 0.5
+        assert pca_score < 0.2
+        assert rp_score > pca_score

@@ -1,0 +1,86 @@
+"""Unit tests for CorrMean / CorrMax scorers."""
+
+import numpy as np
+import pytest
+
+from repro.scoring import CorrMaxScorer, CorrMeanScorer, correlation_matrix
+from repro.scoring.base import ScoringError
+
+
+class TestCorrelationMatrix:
+    def test_shape(self, rng):
+        rho = correlation_matrix(rng.standard_normal((50, 3)),
+                                 rng.standard_normal((50, 2)))
+        assert rho.shape == (3, 2)
+
+    def test_perfect_correlation(self, rng):
+        x = rng.standard_normal((100, 1))
+        assert correlation_matrix(x, x)[0, 0] == pytest.approx(1.0)
+
+    def test_anticorrelation_absolute(self, rng):
+        x = rng.standard_normal((100, 1))
+        assert correlation_matrix(x, -x)[0, 0] == pytest.approx(1.0)
+
+    def test_constant_column_scores_zero(self, rng):
+        x = np.ones((50, 1))
+        y = rng.standard_normal((50, 1))
+        assert correlation_matrix(x, y)[0, 0] == 0.0
+
+    def test_values_in_unit_interval(self, rng):
+        rho = correlation_matrix(rng.standard_normal((30, 4)),
+                                 rng.standard_normal((30, 4)))
+        assert (rho >= 0.0).all() and (rho <= 1.0).all()
+
+
+class TestCorrScorers:
+    def test_mean_vs_max_on_needle(self, rng):
+        """A single strong column: max finds it, mean dilutes it."""
+        y = rng.standard_normal((200, 1))
+        x = rng.standard_normal((200, 10))
+        x[:, 0] = y[:, 0] + 0.1 * rng.standard_normal(200)
+        mean_score = CorrMeanScorer().score(x, y)
+        max_score = CorrMaxScorer().score(x, y)
+        assert max_score > 0.9
+        assert mean_score < 0.3
+        assert max_score > mean_score
+
+    def test_independent_scores_low(self, rng):
+        x = rng.standard_normal((300, 5))
+        y = rng.standard_normal((300, 1))
+        assert CorrMaxScorer().score(x, y) < 0.25
+        assert CorrMeanScorer().score(x, y) < 0.1
+
+    def test_score_range(self, rng):
+        for scorer in (CorrMeanScorer(), CorrMaxScorer()):
+            s = scorer.score(rng.standard_normal((50, 3)),
+                             rng.standard_normal((50, 2)))
+            assert 0.0 <= s <= 1.0
+
+    def test_conditioning_blocks_confounder(self, rng):
+        """Fork Z -> X, Z -> Y: partial correlation given Z vanishes."""
+        z = rng.standard_normal((400, 1))
+        x = z + 0.3 * rng.standard_normal((400, 1))
+        y = z + 0.3 * rng.standard_normal((400, 1))
+        marginal = CorrMaxScorer().score(x, y)
+        conditional = CorrMaxScorer().score(x, y, z)
+        assert marginal > 0.8
+        assert conditional < 0.2
+
+    def test_1d_inputs_accepted(self, rng):
+        s = CorrMaxScorer().score(rng.standard_normal(50),
+                                  rng.standard_normal(50))
+        assert 0.0 <= s <= 1.0
+
+    def test_row_mismatch_rejected(self, rng):
+        with pytest.raises(ScoringError):
+            CorrMeanScorer().score(rng.standard_normal((10, 1)),
+                                   rng.standard_normal((11, 1)))
+
+    def test_nan_rejected(self):
+        x = np.array([[1.0], [np.nan]])
+        with pytest.raises(ScoringError):
+            CorrMaxScorer().score(x, np.ones((2, 1)))
+
+    def test_names(self):
+        assert CorrMeanScorer().name == "CorrMean"
+        assert CorrMaxScorer().name == "CorrMax"

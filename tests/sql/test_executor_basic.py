@@ -1,0 +1,185 @@
+"""Executor tests: projection, filtering, ordering, NULL semantics."""
+
+import pytest
+
+from repro.sql import Database, ExecutionError, Table
+
+
+class TestProjection:
+    def test_select_star(self, db):
+        result = db.sql("SELECT * FROM people")
+        assert result.columns == ["name", "age", "city"]
+        assert len(result) == 4
+
+    def test_select_columns(self, db):
+        result = db.sql("SELECT name, age FROM people")
+        assert result.columns == ["name", "age"]
+
+    def test_expression_projection(self, db):
+        result = db.sql("SELECT age * 2 AS double_age FROM people "
+                        "ORDER BY double_age")
+        assert result.column("double_age") == [56, 56, 68, 82]
+
+    def test_select_without_from(self, db):
+        assert db.sql("SELECT 1 + 2 AS x").rows == [(3,)]
+
+    def test_derived_column_names(self, db):
+        result = db.sql("SELECT UPPER(name) FROM people LIMIT 1")
+        assert result.columns == ["UPPER(name)"]
+
+    def test_qualified_star(self, db):
+        result = db.sql("SELECT p.* FROM people p")
+        assert result.columns == ["name", "age", "city"]
+
+
+class TestWhere:
+    def test_equality(self, db):
+        result = db.sql("SELECT name FROM people WHERE city = 'berlin'")
+        assert result.rows == [("bob",)]
+
+    def test_comparison(self, db):
+        result = db.sql("SELECT name FROM people WHERE age > 30 "
+                        "ORDER BY name")
+        assert result.column("name") == ["alice", "carol"]
+
+    def test_between(self, db):
+        result = db.sql("SELECT name FROM people WHERE age BETWEEN 28 "
+                        "AND 34 ORDER BY name")
+        assert result.column("name") == ["alice", "bob", "dave"]
+
+    def test_in_list(self, db):
+        result = db.sql("SELECT name FROM people WHERE name IN "
+                        "('alice', 'dave') ORDER BY name")
+        assert len(result) == 2
+
+    def test_not_in(self, db):
+        result = db.sql("SELECT name FROM people WHERE name NOT IN "
+                        "('alice', 'bob', 'carol')")
+        assert result.rows == [("dave",)]
+
+    def test_like(self, db):
+        result = db.sql("SELECT name FROM people WHERE name LIKE '%a%' "
+                        "ORDER BY name")
+        assert result.column("name") == ["alice", "carol", "dave"]
+
+    def test_like_underscore(self, db):
+        result = db.sql("SELECT name FROM people WHERE name LIKE 'b_b'")
+        assert result.rows == [("bob",)]
+
+    def test_null_comparison_filters_row(self, db):
+        # city = NULL row: comparison yields NULL -> filtered out
+        result = db.sql("SELECT name FROM people WHERE city <> 'berlin' "
+                        "ORDER BY name")
+        assert result.column("name") == ["alice", "carol"]
+
+    def test_is_null(self, db):
+        result = db.sql("SELECT name FROM people WHERE city IS NULL")
+        assert result.rows == [("dave",)]
+
+    def test_is_not_null(self, db):
+        assert len(db.sql(
+            "SELECT name FROM people WHERE city IS NOT NULL")) == 3
+
+    def test_and_or_three_valued(self, db):
+        # NULL OR TRUE is TRUE; NULL AND TRUE is NULL (filtered).
+        result = db.sql("SELECT name FROM people WHERE city = 'nowhere' "
+                        "OR age = 28 ORDER BY name")
+        assert result.column("name") == ["bob", "dave"]
+
+
+class TestOrderLimit:
+    def test_order_desc(self, db):
+        result = db.sql("SELECT name FROM people ORDER BY age DESC, name")
+        assert result.column("name") == ["carol", "alice", "bob", "dave"]
+
+    def test_order_by_alias(self, db):
+        result = db.sql("SELECT age * -1 AS neg FROM people ORDER BY neg")
+        assert result.column("neg") == [-41, -34, -28, -28]
+
+    def test_order_by_position(self, db):
+        result = db.sql("SELECT name, age FROM people ORDER BY 2, 1")
+        assert result.column("name") == ["bob", "dave", "alice", "carol"]
+
+    def test_nulls_sort_first(self, db):
+        result = db.sql("SELECT city FROM people ORDER BY city")
+        assert result.column("city")[0] is None
+
+    def test_limit(self, db):
+        assert len(db.sql("SELECT * FROM people LIMIT 2")) == 2
+
+    def test_offset(self, db):
+        result = db.sql("SELECT name FROM people ORDER BY name "
+                        "LIMIT 2 OFFSET 1")
+        assert result.column("name") == ["bob", "carol"]
+
+    def test_distinct(self, db):
+        result = db.sql("SELECT DISTINCT age FROM people ORDER BY age")
+        assert result.column("age") == [28, 34, 41]
+
+
+class TestCaseAndCast:
+    def test_case(self, db):
+        result = db.sql(
+            "SELECT name, CASE WHEN age > 30 THEN 'old' ELSE 'young' END "
+            "AS bucket FROM people ORDER BY name")
+        assert result.column("bucket") == ["old", "young", "old", "young"]
+
+    def test_case_no_default_gives_null(self, db):
+        result = db.sql(
+            "SELECT CASE WHEN age > 100 THEN 'x' END AS c FROM people")
+        assert result.column("c") == [None] * 4
+
+    def test_cast(self, db):
+        result = db.sql("SELECT CAST(age AS STRING) s FROM people "
+                        "ORDER BY s LIMIT 1")
+        assert result.rows == [("28",)]
+
+    def test_cast_to_double(self, db):
+        result = db.sql("SELECT CAST('2.5' AS DOUBLE) x")
+        assert result.rows == [(2.5,)]
+
+
+class TestArithmetic:
+    def test_division_by_zero_is_null(self, db):
+        assert db.sql("SELECT 1 / 0 AS x").rows == [(None,)]
+
+    def test_modulo(self, db):
+        assert db.sql("SELECT 7 % 3 AS x").rows == [(1,)]
+
+    def test_string_concat_operator(self, db):
+        assert db.sql("SELECT 'a' || 'b' AS x").rows == [("ab",)]
+
+    def test_null_propagation(self, db):
+        assert db.sql("SELECT 1 + NULL AS x").rows == [(None,)]
+
+
+class TestErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(Exception):
+            db.sql("SELECT * FROM missing")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(Exception):
+            db.sql("SELECT nope FROM people")
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.sql("SELECT name FROM people WHERE AVG(age) > 1")
+
+    def test_unknown_function(self, db):
+        with pytest.raises(ExecutionError):
+            db.sql("SELECT FROBNICATE(name) FROM people")
+
+
+class TestSubqueries:
+    def test_subquery_in_from(self, db):
+        result = db.sql(
+            "SELECT name FROM (SELECT name, age FROM people "
+            "WHERE age > 30) old ORDER BY name")
+        assert result.column("name") == ["alice", "carol"]
+
+    def test_nested_subqueries(self, db):
+        result = db.sql(
+            "SELECT n FROM (SELECT name AS n FROM "
+            "(SELECT name FROM people WHERE age = 41) inner1) outer1")
+        assert result.rows == [("carol",)]

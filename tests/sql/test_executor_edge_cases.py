@@ -1,0 +1,123 @@
+"""Edge-case coverage for the SQL executor."""
+
+import pytest
+
+from repro.sql import Database, ExecutionError, Table
+from repro.sql.errors import SchemaError
+
+
+@pytest.fixture
+def edge_db() -> Database:
+    db = Database()
+    db.register("t", Table(["k", "v", "s"], [
+        ("a", 1, "x"), ("b", None, "y"), ("c", 3, None), ("a", 4, "x"),
+    ]))
+    return db
+
+
+class TestNullEdgeCases:
+    def test_in_list_with_null_candidate(self, edge_db):
+        # v IN (1, NULL): true for v=1, NULL (filtered) otherwise.
+        result = edge_db.sql("SELECT k FROM t WHERE v IN (1, NULL)")
+        assert result.rows == [("a",)]
+
+    def test_not_in_with_null_candidate_matches_nothing(self, edge_db):
+        result = edge_db.sql("SELECT k FROM t WHERE v NOT IN (1, NULL)")
+        assert result.rows == []
+
+    def test_null_in_group_key_forms_its_own_group(self, edge_db):
+        result = edge_db.sql(
+            "SELECT s, COUNT(*) c FROM t GROUP BY s ORDER BY c DESC, s")
+        assert ("x", 2) in result.rows
+        assert (None, 1) in result.rows
+
+    def test_between_with_null_bound(self, edge_db):
+        result = edge_db.sql(
+            "SELECT k FROM t WHERE v BETWEEN NULL AND 10")
+        assert result.rows == []
+
+    def test_coalesce_in_order_by(self, edge_db):
+        result = edge_db.sql(
+            "SELECT k, COALESCE(v, 0) cv FROM t ORDER BY COALESCE(v, 0)")
+        assert result.column("cv") == [0, 1, 3, 4]
+
+
+class TestExpressionsInGroupBy:
+    def test_case_in_group_by(self, edge_db):
+        result = edge_db.sql("""
+            SELECT CASE WHEN v IS NULL THEN 'missing' ELSE 'present' END
+                       AS status,
+                   COUNT(*) c
+            FROM t GROUP BY CASE WHEN v IS NULL THEN 'missing'
+                            ELSE 'present' END
+            ORDER BY status
+        """)
+        assert result.rows == [("missing", 1), ("present", 3)]
+
+    def test_nested_functions_in_group_by(self, edge_db):
+        result = edge_db.sql(
+            "SELECT UPPER(COALESCE(s, 'z')) g, COUNT(*) c FROM t "
+            "GROUP BY UPPER(COALESCE(s, 'z')) ORDER BY g")
+        assert result.column("g") == ["X", "Y", "Z"]
+
+
+class TestMiscBehaviour:
+    def test_limit_zero(self, edge_db):
+        assert len(edge_db.sql("SELECT * FROM t LIMIT 0")) == 0
+
+    def test_offset_beyond_end(self, edge_db):
+        assert len(edge_db.sql(
+            "SELECT * FROM t ORDER BY k LIMIT 10 OFFSET 99")) == 0
+
+    def test_cross_type_comparison_raises(self, edge_db):
+        with pytest.raises(ExecutionError):
+            edge_db.sql("SELECT k FROM t WHERE s > 1")
+
+    def test_select_distinct_on_map_cells(self):
+        db = Database()
+        db.register("m", Table(["tag"], [
+            ({"a": 1},), ({"a": 1},), ({"b": 2},)]))
+        assert len(db.sql("SELECT DISTINCT tag FROM m")) == 2
+
+    def test_table_case_insensitive_lookup(self, edge_db):
+        assert len(edge_db.sql("SELECT * FROM T")) == 4
+
+    def test_drop_table(self, edge_db):
+        edge_db.drop("t")
+        with pytest.raises(SchemaError):
+            edge_db.sql("SELECT * FROM t")
+
+    def test_provider_materialised_once(self):
+        db = Database()
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return Table(["x"], [(1,)])
+
+        db.register_provider("lazy", provider)
+        db.sql("SELECT * FROM lazy")
+        db.sql("SELECT * FROM lazy")
+        assert len(calls) == 1
+
+    def test_register_overwrites_provider(self):
+        db = Database()
+        db.register_provider("x", lambda: Table(["a"], [(1,)]))
+        db.register("x", Table(["a"], [(2,)]))
+        assert db.sql("SELECT a FROM x").rows == [(2,)]
+
+    def test_having_with_arithmetic(self, edge_db):
+        result = edge_db.sql(
+            "SELECT k, SUM(v) s FROM t WHERE v IS NOT NULL GROUP BY k "
+            "HAVING SUM(v) * 2 > 5 ORDER BY k")
+        assert result.column("k") == ["a", "c"]
+
+    def test_order_by_expression_on_source_columns(self, edge_db):
+        result = edge_db.sql(
+            "SELECT k FROM t WHERE v IS NOT NULL ORDER BY v * -1")
+        assert result.column("k") == ["a", "c", "a"]
+
+    def test_union_of_selects_with_exprs(self, edge_db):
+        result = edge_db.sql(
+            "SELECT MAX(v) FROM t UNION ALL SELECT MIN(v) FROM t")
+        assert sorted(r[0] for r in result.rows) == [1, 4]

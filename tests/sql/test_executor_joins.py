@@ -1,0 +1,123 @@
+"""Executor tests: joins and unions."""
+
+import pytest
+
+from repro.sql import Database, Table
+
+
+class TestInnerJoin:
+    def test_equi_join(self, db):
+        result = db.sql(
+            "SELECT p.name, o.amount FROM people p JOIN orders o "
+            "ON p.name = o.customer ORDER BY o.amount")
+        assert result.rows == [("bob", 42.0), ("alice", 80.0),
+                               ("alice", 120.0)]
+
+    def test_join_with_residual_predicate(self, db):
+        result = db.sql(
+            "SELECT p.name, o.amount FROM people p JOIN orders o "
+            "ON p.name = o.customer AND o.amount > 50 ORDER BY o.amount")
+        assert result.rows == [("alice", 80.0), ("alice", 120.0)]
+
+    def test_non_equi_join_falls_back_to_nested_loop(self, db):
+        result = db.sql(
+            "SELECT p.name, o.order_id FROM people p JOIN orders o "
+            "ON p.age > o.amount ORDER BY p.name, o.order_id")
+        # everyone's age (28..41) > amount 10; bob/dave age 28 < 42
+        names = result.column("name")
+        assert names.count("alice") == 1
+        assert names.count("carol") == 1
+
+    def test_self_join_with_aliases(self, db):
+        result = db.sql(
+            "SELECT a.name, b.name FROM people a JOIN people b "
+            "ON a.age = b.age AND a.name <> b.name ORDER BY a.name")
+        assert result.rows == [("bob", "dave"), ("dave", "bob")]
+
+
+class TestOuterJoins:
+    def test_left_join_pads_nulls(self, db):
+        result = db.sql(
+            "SELECT p.name, o.order_id FROM people p LEFT JOIN orders o "
+            "ON p.name = o.customer ORDER BY p.name, o.order_id")
+        rows = result.rows
+        assert ("carol", None) in rows
+        assert ("dave", None) in rows
+        assert len(rows) == 5
+
+    def test_right_join(self, db):
+        result = db.sql(
+            "SELECT p.name, o.customer FROM people p RIGHT JOIN orders o "
+            "ON p.name = o.customer ORDER BY o.customer")
+        assert (None, "erin") in result.rows
+
+    def test_full_outer_join(self, db):
+        result = db.sql(
+            "SELECT p.name, o.customer FROM people p "
+            "FULL OUTER JOIN orders o ON p.name = o.customer")
+        rows = set(result.rows)
+        assert (None, "erin") in rows          # right-unmatched
+        assert ("carol", None) in rows          # left-unmatched
+        assert ("alice", "alice") in rows
+
+    def test_full_outer_join_timestamp_alignment(self):
+        """The paper's listing-5 pattern: align families on time."""
+        db = Database()
+        db.register("x", Table(["ts", "v"], [(1, 10.0), (2, 20.0)]))
+        db.register("y", Table(["ts", "w"], [(2, 200.0), (3, 300.0)]))
+        result = db.sql(
+            "SELECT x.ts, x.v, y.w FROM x FULL OUTER JOIN y "
+            "ON x.ts = y.ts ORDER BY COALESCE(x.ts, y.ts)")
+        assert result.rows == [(1, 10.0, None), (2, 20.0, 200.0),
+                               (None, None, 300.0)]
+
+
+class TestCrossJoin:
+    def test_comma_cross_join(self, db):
+        result = db.sql("SELECT p.name, o.order_id FROM people p, orders o")
+        assert len(result) == 16
+
+    def test_explicit_cross_join(self, db):
+        result = db.sql(
+            "SELECT p.name FROM people p CROSS JOIN orders o")
+        assert len(result) == 16
+
+
+class TestUnions:
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.sql("SELECT age FROM people UNION ALL "
+                        "SELECT age FROM people")
+        assert len(result) == 8
+
+    def test_union_dedupes(self, db):
+        result = db.sql("SELECT age FROM people UNION "
+                        "SELECT age FROM people ORDER BY age")
+        assert result.column("age") == [28, 34, 41]
+
+    def test_union_with_order_limit(self, db):
+        result = db.sql(
+            "SELECT age FROM people UNION ALL SELECT amount FROM orders "
+            "ORDER BY age DESC LIMIT 2")
+        assert result.column("age") == [120.0, 80.0]
+
+    def test_union_arity_mismatch(self, db):
+        with pytest.raises(Exception):
+            db.sql("SELECT age, name FROM people UNION SELECT age "
+                   "FROM people")
+
+
+class TestJoinEdgeCases:
+    def test_join_on_null_keys_never_matches(self):
+        db = Database()
+        db.register("l", Table(["k", "v"], [(None, 1), ("a", 2)]))
+        db.register("r", Table(["k", "w"], [(None, 10), ("a", 20)]))
+        result = db.sql("SELECT l.v, r.w FROM l JOIN r ON l.k = r.k")
+        assert result.rows == [(2, 20)]
+
+    def test_empty_side(self):
+        db = Database()
+        db.register("l", Table(["k"], [("a",)]))
+        db.register("r", Table.empty(["k"]))
+        assert len(db.sql("SELECT * FROM l JOIN r ON l.k = r.k")) == 0
+        assert len(db.sql(
+            "SELECT * FROM l LEFT JOIN r ON l.k = r.k")) == 1

@@ -1,0 +1,133 @@
+"""Unit tests for scalar SQL functions and UDF registration."""
+
+import pytest
+
+from repro.sql import Database, ExecutionError, Table
+
+
+@pytest.fixture
+def db1() -> Database:
+    db = Database()
+    db.register("t", Table(["s", "x"], [("web-1", 2.0)]))
+    return db
+
+
+def scalar(db1: Database, expr: str):
+    return db1.sql(f"SELECT {expr} AS out FROM t").rows[0][0]
+
+
+class TestStringFunctions:
+    def test_concat(self, db1):
+        assert scalar(db1, "CONCAT('a', 'b', 1)") == "ab1"
+
+    def test_concat_null_propagates(self, db1):
+        assert scalar(db1, "CONCAT('a', NULL)") is None
+
+    def test_split_and_index(self, db1):
+        assert scalar(db1, "SPLIT(s, '-')[0]") == "web"
+        assert scalar(db1, "SPLIT(s, '-')[1]") == "1"
+
+    def test_split_negative_index(self, db1):
+        assert scalar(db1, "SPLIT(s, '-')[-1]") == "1"
+
+    def test_split_out_of_range_is_null(self, db1):
+        assert scalar(db1, "SPLIT(s, '-')[9]") is None
+
+    def test_upper_lower_trim(self, db1):
+        assert scalar(db1, "UPPER('ab')") == "AB"
+        assert scalar(db1, "LOWER('AB')") == "ab"
+        assert scalar(db1, "TRIM('  x ')") == "x"
+
+    def test_substr_one_based(self, db1):
+        assert scalar(db1, "SUBSTR('hello', 2, 3)") == "ell"
+        assert scalar(db1, "SUBSTR('hello', 2)") == "ello"
+
+    def test_replace(self, db1):
+        assert scalar(db1, "REPLACE('a-b-c', '-', '.')") == "a.b.c"
+
+    def test_length(self, db1):
+        assert scalar(db1, "LENGTH('abc')") == 3
+
+
+class TestNumericFunctions:
+    def test_abs(self, db1):
+        assert scalar(db1, "ABS(-3)") == 3.0
+
+    def test_log_exp_sqrt(self, db1):
+        assert scalar(db1, "LOG(EXP(1))") == pytest.approx(1.0)
+        assert scalar(db1, "SQRT(16)") == 4.0
+
+    def test_log_of_negative_raises(self, db1):
+        with pytest.raises(ExecutionError):
+            scalar(db1, "LOG(-1)")
+
+    def test_round(self, db1):
+        assert scalar(db1, "ROUND(2.567, 1)") == 2.6
+        assert scalar(db1, "ROUND(2.5)") == 2.0
+
+    def test_floor_ceil(self, db1):
+        assert scalar(db1, "FLOOR(2.7)") == 2.0
+        assert scalar(db1, "CEIL(2.1)") == 3.0
+
+    def test_power(self, db1):
+        assert scalar(db1, "POWER(2, 10)") == 1024.0
+
+    def test_greatest_least_skip_nulls(self, db1):
+        assert scalar(db1, "GREATEST(1, NULL, 3)") == 3
+        assert scalar(db1, "LEAST(1, NULL, 3)") == 1
+        assert scalar(db1, "GREATEST(NULL, NULL)") is None
+
+
+class TestConditionalFunctions:
+    def test_coalesce(self, db1):
+        assert scalar(db1, "COALESCE(NULL, NULL, 5)") == 5
+        assert scalar(db1, "COALESCE(NULL, NULL)") is None
+
+    def test_if(self, db1):
+        assert scalar(db1, "IF(x > 1, 'big', 'small')") == "big"
+
+    def test_nullif(self, db1):
+        assert scalar(db1, "NULLIF(2, 2)") is None
+        assert scalar(db1, "NULLIF(2, 3)") == 2
+
+
+class TestMapFunctions:
+    def test_map_construction_and_access(self, db1):
+        assert scalar(db1, "MAP('a', 1, 'b', 2)['b']") == 2
+
+    def test_map_keys_values(self, db1):
+        assert scalar(db1, "MAP_KEYS(MAP('a', 1))") == ["a"]
+        assert scalar(db1, "MAP_VALUES(MAP('a', 1))") == [1]
+
+    def test_map_odd_args_rejected(self, db1):
+        with pytest.raises(ExecutionError):
+            scalar(db1, "MAP('a')")
+
+    def test_missing_map_key_is_null(self, db1):
+        assert scalar(db1, "MAP('a', 1)['z']") is None
+
+
+class TestUdfs:
+    def test_hostgroup_udf(self, db1):
+        """The paper's UDF example: hostgroup instead of SPLIT[0]."""
+        db1.register_udf("hostgroup", lambda h: h.split("-")[0])
+        assert scalar(db1, "hostgroup(s)") == "web"
+
+    def test_udf_case_insensitive(self, db1):
+        db1.register_udf("MyFn", lambda v: v * 10)
+        assert scalar(db1, "myfn(x)") == 20.0
+
+    def test_udf_error_wrapped(self, db1):
+        db1.register_udf("boom", lambda v: 1 / 0)
+        with pytest.raises(ExecutionError, match="BOOM"):
+            scalar(db1, "boom(x)")
+
+    def test_udf_in_group_by(self, db1):
+        db = Database()
+        db.register("hosts", Table(
+            ["host"], [("web-1",), ("web-2",), ("db-1",)]))
+        db.register_udf("hostgroup", lambda h: h.split("-")[0])
+        result = db.sql(
+            "SELECT hostgroup(host) g, COUNT(*) c FROM hosts "
+            "GROUP BY hostgroup(host) ORDER BY g")
+        assert result.rows == [("db", 1), ("web", 2)]

@@ -1,0 +1,109 @@
+"""Unit and property tests for the predicate-pushdown optimizer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import Database, Table
+from repro.sql.optimizer import count_pushed_filters, optimize
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def join_db() -> Database:
+    db = Database()
+    db.register("l", Table(["k", "v"], [
+        ("a", 1), ("b", 2), ("c", 3), ("a", 4), (None, 5)]))
+    db.register("r", Table(["k", "w"], [
+        ("a", 10), ("b", 20), ("d", 40), (None, 50)]))
+    return db
+
+
+def _both_ways(query: str, db: Database) -> tuple[Table, Table]:
+    raw_db = Database(optimize_queries=False)
+    for name in db.table_names():
+        raw_db.register(name, db.table(name))
+    return db.sql(query), raw_db.sql(query)
+
+
+class TestRewriteStructure:
+    def test_single_side_predicate_pushed(self):
+        stmt = optimize(parse(
+            "SELECT l.v FROM l JOIN r ON l.k = r.k WHERE l.v > 1"))
+        assert count_pushed_filters(stmt) == 1
+        assert stmt.where is None
+
+    def test_both_sides_pushed(self):
+        stmt = optimize(parse(
+            "SELECT l.v FROM l JOIN r ON l.k = r.k "
+            "WHERE l.v > 1 AND r.w < 30"))
+        assert count_pushed_filters(stmt) == 2
+
+    def test_cross_side_predicate_stays(self):
+        stmt = optimize(parse(
+            "SELECT l.v FROM l JOIN r ON l.k = r.k WHERE l.v < r.w"))
+        assert count_pushed_filters(stmt) == 0
+        assert stmt.where is not None
+
+    def test_unqualified_ref_not_pushed(self):
+        stmt = optimize(parse(
+            "SELECT l.v FROM l JOIN r ON l.k = r.k WHERE v > 1"))
+        assert count_pushed_filters(stmt) == 0
+
+    def test_right_side_of_left_join_not_pushed(self):
+        stmt = optimize(parse(
+            "SELECT l.v FROM l LEFT JOIN r ON l.k = r.k WHERE r.w > 5"))
+        assert count_pushed_filters(stmt) == 0
+
+    def test_left_side_of_left_join_pushed(self):
+        stmt = optimize(parse(
+            "SELECT l.v FROM l LEFT JOIN r ON l.k = r.k WHERE l.v > 1"))
+        assert count_pushed_filters(stmt) == 1
+
+    def test_no_join_untouched(self):
+        stmt = optimize(parse("SELECT v FROM l WHERE v > 1"))
+        assert count_pushed_filters(stmt) == 0
+
+    def test_union_members_optimised(self):
+        stmt = optimize(parse(
+            "SELECT l.v FROM l JOIN r ON l.k = r.k WHERE l.v > 1 "
+            "UNION ALL "
+            "SELECT l.v FROM l JOIN r ON l.k = r.k WHERE r.w > 1"))
+        assert count_pushed_filters(stmt) == 2
+
+
+class TestSemanticEquivalence:
+    QUERIES = [
+        "SELECT l.v FROM l JOIN r ON l.k = r.k WHERE l.v > 1 ORDER BY l.v",
+        "SELECT l.v, r.w FROM l JOIN r ON l.k = r.k "
+        "WHERE l.v > 1 AND r.w < 30 ORDER BY l.v, r.w",
+        "SELECT l.v FROM l LEFT JOIN r ON l.k = r.k "
+        "WHERE l.v >= 2 ORDER BY l.v",
+        "SELECT l.k, COUNT(*) c FROM l JOIN r ON l.k = r.k "
+        "WHERE l.v > 0 AND r.w >= 10 GROUP BY l.k ORDER BY l.k",
+        "SELECT a.v FROM l a JOIN l b ON a.k = b.k "
+        "WHERE a.v > 1 AND b.v < 4 ORDER BY a.v",
+        "SELECT l.v FROM l CROSS JOIN r WHERE l.v > 2 AND r.w > 15 "
+        "ORDER BY l.v, r.w",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_optimised_equals_raw(self, query, join_db):
+        optimised, raw = _both_ways(query, join_db)
+        assert optimised.rows == raw.rows
+        assert optimised.columns == raw.columns
+
+
+class TestEquivalenceProperty:
+    @given(st.integers(-2, 4), st.integers(5, 45))
+    @settings(max_examples=30, deadline=None)
+    def test_threshold_sweep(self, v_threshold, w_threshold):
+        db = Database()
+        db.register("l", Table(["k", "v"], [
+            ("a", 1), ("b", 2), ("c", 3), ("a", 4)]))
+        db.register("r", Table(["k", "w"], [
+            ("a", 10), ("b", 20), ("d", 40)]))
+        query = (f"SELECT l.k, l.v, r.w FROM l JOIN r ON l.k = r.k "
+                 f"WHERE l.v > {v_threshold} AND r.w < {w_threshold} "
+                 f"ORDER BY l.k, l.v, r.w")
+        optimised, raw = _both_ways(query, db)
+        assert optimised.rows == raw.rows

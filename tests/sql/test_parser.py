@@ -1,0 +1,237 @@
+"""Unit tests for the SQL parser's AST construction."""
+
+import pytest
+
+from repro.sql.errors import ParseError
+from repro.sql.nodes import (
+    Between,
+    BinaryOp,
+    Case,
+    Cast,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    Select,
+    Star,
+    SubqueryRef,
+    Subscript,
+    TableRef,
+    UnaryOp,
+    Union,
+)
+from repro.sql.parser import parse
+
+
+class TestBasicSelect:
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt, Select)
+        assert isinstance(stmt.items[0].expr, Star)
+        assert stmt.source == TableRef(name="t", alias=None)
+
+    def test_column_alias_forms(self):
+        stmt = parse("SELECT a AS x, b y, c FROM t")
+        assert [i.alias for i in stmt.items] == ["x", "y", None]
+
+    def test_qualified_column(self):
+        stmt = parse("SELECT t.a FROM t")
+        assert stmt.items[0].expr == ColumnRef(name="a", table="t")
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expr == Star(table="t")
+
+    def test_literals(self):
+        stmt = parse("SELECT 1, 2.5, 'x', NULL, TRUE, FALSE")
+        values = [i.expr.value for i in stmt.items]
+        assert values == [1, 2.5, "x", None, True, False]
+
+    def test_select_without_from(self):
+        stmt = parse("SELECT 1 + 1")
+        assert stmt.source is None
+
+    def test_distinct_flag(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_limit_offset(self):
+        stmt = parse("SELECT a FROM t LIMIT 5 OFFSET 2")
+        assert stmt.limit == 5
+        assert stmt.offset == 2
+
+    def test_order_by_directions(self):
+        stmt = parse("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+
+class TestExpressions:
+    def expr(self, text: str):
+        return parse(f"SELECT {text}").items[0].expr
+
+    def test_precedence_arithmetic(self):
+        e = self.expr("1 + 2 * 3")
+        assert isinstance(e, BinaryOp) and e.op == "+"
+        assert isinstance(e.right, BinaryOp) and e.right.op == "*"
+
+    def test_precedence_logic(self):
+        e = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").where
+        assert e.op == "OR"
+        assert e.right.op == "AND"
+
+    def test_not(self):
+        e = parse("SELECT a FROM t WHERE NOT x = 1").where
+        assert isinstance(e, UnaryOp) and e.op == "NOT"
+
+    def test_unary_minus(self):
+        e = self.expr("-x")
+        assert isinstance(e, UnaryOp) and e.op == "-"
+
+    def test_between(self):
+        e = parse("SELECT a FROM t WHERE ts BETWEEN 1 AND 5").where
+        assert isinstance(e, Between)
+        assert not e.negated
+
+    def test_not_between(self):
+        e = parse("SELECT a FROM t WHERE ts NOT BETWEEN 1 AND 5").where
+        assert e.negated
+
+    def test_in_list(self):
+        e = parse("SELECT a FROM t WHERE x IN ('a', 'b')").where
+        assert isinstance(e, InList)
+        assert len(e.items) == 2
+
+    def test_like(self):
+        e = parse("SELECT a FROM t WHERE name LIKE 'dn%'").where
+        assert isinstance(e, Like)
+
+    def test_is_null_and_is_not_null(self):
+        e1 = parse("SELECT a FROM t WHERE x IS NULL").where
+        e2 = parse("SELECT a FROM t WHERE x IS NOT NULL").where
+        assert isinstance(e1, IsNull) and not e1.negated
+        assert isinstance(e2, IsNull) and e2.negated
+
+    def test_subscript(self):
+        e = self.expr("tag['host']")
+        assert isinstance(e, Subscript)
+        assert e.index == Literal("host")
+
+    def test_chained_subscript(self):
+        e = self.expr("SPLIT(h, '-')[0]")
+        assert isinstance(e, Subscript)
+        assert isinstance(e.base, FuncCall)
+
+    def test_case_expression(self):
+        e = self.expr("CASE WHEN x > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(e, Case)
+        assert e.default == Literal("small")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse("SELECT CASE END")
+
+    def test_cast(self):
+        e = self.expr("CAST(x AS INT)")
+        assert isinstance(e, Cast)
+        assert e.type_name == "INT"
+
+    def test_function_call(self):
+        e = self.expr("CONCAT(a, '-', b)")
+        assert isinstance(e, FuncCall)
+        assert e.name == "CONCAT"
+        assert len(e.args) == 3
+
+    def test_count_star(self):
+        e = self.expr("COUNT(*)")
+        assert isinstance(e.args[0], Star)
+
+    def test_count_distinct(self):
+        e = self.expr("COUNT(DISTINCT x)")
+        assert e.distinct
+
+    def test_window_function(self):
+        e = self.expr("LAG(v, 1) OVER (PARTITION BY h ORDER BY ts)")
+        assert e.window is not None
+        assert len(e.window.partition_by) == 1
+        assert len(e.window.order_by) == 1
+
+    def test_concat_operator(self):
+        e = self.expr("a || b")
+        assert isinstance(e, BinaryOp) and e.op == "||"
+
+
+class TestFromClause:
+    def test_inner_join(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.x = b.x")
+        assert isinstance(stmt.source, Join)
+        assert stmt.source.kind == "INNER"
+
+    def test_left_join(self):
+        stmt = parse("SELECT * FROM a LEFT JOIN b ON a.x = b.x")
+        assert stmt.source.kind == "LEFT"
+
+    def test_full_outer_join(self):
+        stmt = parse("SELECT * FROM a FULL OUTER JOIN b ON a.x = b.x")
+        assert stmt.source.kind == "FULL"
+
+    def test_cross_join_comma(self):
+        stmt = parse("SELECT * FROM a, b")
+        assert stmt.source.kind == "CROSS"
+
+    def test_chained_joins(self):
+        stmt = parse(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y")
+        outer = stmt.source
+        assert isinstance(outer.left, Join)
+
+    def test_subquery_in_from(self):
+        stmt = parse("SELECT * FROM (SELECT a FROM t) sub")
+        assert isinstance(stmt.source, SubqueryRef)
+        assert stmt.source.alias == "sub"
+
+    def test_table_alias(self):
+        stmt = parse("SELECT * FROM t AS x")
+        assert stmt.source.alias == "x"
+
+
+class TestUnion:
+    def test_union_all(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert isinstance(stmt, Union)
+        assert stmt.all
+
+    def test_union_distinct(self):
+        stmt = parse("SELECT a FROM t UNION SELECT a FROM u")
+        assert not stmt.all
+
+    def test_union_chain(self):
+        stmt = parse("SELECT 1 UNION SELECT 2 UNION SELECT 3")
+        assert isinstance(stmt.left, Union)
+
+    def test_parenthesised_union_member(self):
+        stmt = parse("(SELECT 1) UNION (SELECT 2)")
+        assert isinstance(stmt, Union)
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 SELECT 2")
+
+    def test_missing_from_table(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM")
+
+    def test_scalar_subquery_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT (SELECT 1)")
+
+    def test_join_without_on(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM a JOIN b")
+
+    def test_dangling_not(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t WHERE x NOT 5")

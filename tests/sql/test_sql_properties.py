@@ -1,0 +1,104 @@
+"""Property-based tests for the SQL engine (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import Database, Table
+
+names = st.text(alphabet="abcdef", min_size=1, max_size=4)
+values = st.one_of(st.none(), st.integers(-100, 100),
+                   st.floats(-100, 100, allow_nan=False))
+
+
+@st.composite
+def tables(draw):
+    n_rows = draw(st.integers(0, 12))
+    rows = [(draw(names), draw(values)) for _ in range(n_rows)]
+    return Table(["k", "v"], rows)
+
+
+def _db(table: Table) -> Database:
+    db = Database()
+    db.register("t", table)
+    return db
+
+
+class TestRelationalInvariants:
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_filter_never_grows(self, table):
+        db = _db(table)
+        out = db.sql("SELECT * FROM t WHERE v > 0")
+        assert len(out) <= len(table)
+
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_where_partition(self, table):
+        """Rows split exactly into v>0, v<=0 and v IS NULL."""
+        db = _db(table)
+        pos = len(db.sql("SELECT * FROM t WHERE v > 0"))
+        neg = len(db.sql("SELECT * FROM t WHERE v <= 0"))
+        nul = len(db.sql("SELECT * FROM t WHERE v IS NULL"))
+        assert pos + neg + nul == len(table)
+
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_union_all_length(self, table):
+        db = _db(table)
+        out = db.sql("SELECT * FROM t UNION ALL SELECT * FROM t")
+        assert len(out) == 2 * len(table)
+
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_idempotent(self, table):
+        db = _db(table)
+        once = db.sql("SELECT DISTINCT * FROM t")
+        db2 = _db(once)
+        twice = db2.sql("SELECT DISTINCT * FROM t")
+        assert once.rows == twice.rows
+
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_order_by_is_sorted(self, table):
+        db = _db(table)
+        out = db.sql("SELECT v FROM t WHERE v IS NOT NULL ORDER BY v")
+        col = out.column("v")
+        assert col == sorted(col)
+
+    @given(tables(), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_limit_bounds(self, table, k):
+        db = _db(table)
+        out = db.sql(f"SELECT * FROM t LIMIT {k}")
+        assert len(out) == min(k, len(table))
+
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_python(self, table):
+        db = _db(table)
+        out = db.sql("SELECT COUNT(v) FROM t")
+        expected = sum(1 for row in table.rows if row[1] is not None)
+        assert out.rows == [(expected,)]
+
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_counts_sum_to_total(self, table):
+        db = _db(table)
+        out = db.sql("SELECT k, COUNT(*) c FROM t GROUP BY k")
+        assert sum(out.column("c")) == len(table)
+
+    @given(tables())
+    @settings(max_examples=30, deadline=None)
+    def test_self_inner_join_at_least_len_on_key(self, table):
+        """Every row matches itself on k, so |join| >= |t| (k is non-null)."""
+        db = _db(table)
+        out = db.sql("SELECT a.k FROM t a JOIN t b ON a.k = b.k")
+        assert len(out) >= len(table)
+
+    @given(tables())
+    @settings(max_examples=30, deadline=None)
+    def test_left_join_preserves_left_rows(self, table):
+        db = _db(table)
+        out = db.sql(
+            "SELECT a.k FROM t a LEFT JOIN t b "
+            "ON a.k = b.k AND b.v > 1000000")
+        assert len(out) == len(table)

@@ -1,0 +1,58 @@
+"""Unit tests for the tsdb -> SQL table adapter."""
+
+from repro.sql import Database
+from repro.tsdb import SeriesId, TimeSeriesStore, tsdb_table
+from repro.tsdb.adapter import TSDB_COLUMNS, register_store
+
+
+def _store():
+    store = TimeSeriesStore()
+    store.insert_array(SeriesId.make("runtime", {"pipeline_name": "p1"}),
+                       [0, 1, 2], [10.0, 11.0, 12.0])
+    store.insert_array(SeriesId.make("input_rate", {"type": "e1"}),
+                       [0, 1, 2], [100.0, 110.0, 90.0])
+    return store
+
+
+class TestTsdbTable:
+    def test_schema(self):
+        table = tsdb_table(_store())
+        assert table.columns == TSDB_COLUMNS
+
+    def test_row_count(self):
+        assert len(tsdb_table(_store())) == 6
+
+    def test_time_clipping(self):
+        table = tsdb_table(_store(), start=1, end=2)
+        assert len(table) == 2
+        assert all(row[0] == 1 for row in table.rows)
+
+    def test_tag_map_cell(self):
+        table = tsdb_table(_store())
+        runtime_rows = [r for r in table.rows if r[1] == "runtime"]
+        assert runtime_rows[0][2] == {"pipeline_name": "p1"}
+
+    def test_rows_sorted_by_time_then_name(self):
+        table = tsdb_table(_store())
+        keys = [(r[0], r[1]) for r in table.rows]
+        assert keys == sorted(keys)
+
+
+class TestRegisterStore:
+    def test_lazy_registration_queryable(self):
+        db = Database()
+        register_store(db, _store())
+        result = db.sql(
+            "SELECT metric_name, COUNT(*) c FROM tsdb "
+            "GROUP BY metric_name ORDER BY metric_name"
+        )
+        assert result.rows == [("input_rate", 3), ("runtime", 3)]
+
+    def test_tag_subscript_in_sql(self):
+        db = Database()
+        register_store(db, _store())
+        result = db.sql(
+            "SELECT tag['pipeline_name'] p, AVG(value) v FROM tsdb "
+            "WHERE metric_name = 'runtime' GROUP BY tag['pipeline_name']"
+        )
+        assert result.rows == [("p1", 11.0)]

@@ -1,0 +1,62 @@
+"""Unit tests for the line-protocol ingest."""
+
+import pytest
+
+from repro.tsdb.ingest import load_lines, parse_line
+from repro.tsdb.model import SeriesFormatError
+from repro.tsdb.storage import TimeSeriesStore
+
+
+class TestParseLine:
+    def test_paper_example(self):
+        line = ("0 flow{src=datanode-1,dest=datanode-2,srcport=100,"
+                "destport=200,protocol=TCP} bytecount=1000 packetcount=10 "
+                "retransmits=1")
+        points = parse_line(line)
+        assert len(points) == 3
+        names = {p.series.name for p in points}
+        assert names == {"flow.bytecount", "flow.packetcount",
+                         "flow.retransmits"}
+        assert all(p.timestamp == 0 for p in points)
+        assert all(p.series.tag("src") == "datanode-1" for p in points)
+
+    def test_blank_and_comment_lines(self):
+        assert parse_line("") == []
+        assert parse_line("   ") == []
+        assert parse_line("# comment") == []
+
+    def test_no_tags(self):
+        points = parse_line("5 cpu usage=42.5")
+        assert points[0].series.name == "cpu.usage"
+        assert points[0].value == 42.5
+
+    def test_bad_timestamp(self):
+        with pytest.raises(SeriesFormatError):
+            parse_line("abc cpu usage=1")
+
+    def test_missing_measurement(self):
+        with pytest.raises(SeriesFormatError):
+            parse_line("5 cpu")
+
+    def test_non_numeric_value(self):
+        with pytest.raises(SeriesFormatError):
+            parse_line("5 cpu usage=high")
+
+    def test_measurement_without_equals(self):
+        with pytest.raises(SeriesFormatError):
+            parse_line("5 cpu usage")
+
+
+class TestLoadLines:
+    def test_bulk_load(self):
+        store = TimeSeriesStore()
+        lines = [
+            "0 cpu{host=h1} usage=10",
+            "1 cpu{host=h1} usage=12",
+            "# skip me",
+            "0 cpu{host=h2} usage=20 temp=50",
+        ]
+        count = load_lines(store, lines)
+        assert count == 4
+        assert store.num_points() == 4
+        assert set(store.metric_names()) == {"cpu.usage", "cpu.temp"}

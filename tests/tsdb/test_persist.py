@@ -1,0 +1,70 @@
+"""Unit tests for store persistence snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.tsdb import SeriesId, TimeSeriesStore
+from repro.tsdb.persist import (
+    dumps_store,
+    loads_store,
+    read_store,
+    save_store,
+)
+
+
+@pytest.fixture
+def store() -> TimeSeriesStore:
+    s = TimeSeriesStore()
+    ts = np.arange(10)
+    s.insert_array(SeriesId.make("cpu", {"host": "h1"}), ts,
+                   np.linspace(1.0, 2.0, 10))
+    s.insert_array(SeriesId.make("flow.bytecount",
+                                 {"src": "a", "dest": "b"}), ts,
+                   np.arange(10.0) * 100)
+    s.insert_array(SeriesId.make("flow.packetcount",
+                                 {"src": "a", "dest": "b"}), ts,
+                   np.arange(10.0))
+    return s
+
+
+class TestRoundTrip:
+    def test_names_and_tags_preserved(self, store):
+        restored = loads_store(dumps_store(store))
+        assert restored.series_ids() == store.series_ids()
+
+    def test_values_preserved_exactly(self, store):
+        restored = loads_store(dumps_store(store))
+        for series in store.series_ids():
+            _, original = store.arrays(series)
+            _, loaded = restored.arrays(series)
+            assert np.array_equal(original, loaded)
+
+    def test_sibling_measurements_share_lines(self, store):
+        text = dumps_store(store)
+        flow_lines = [l for l in text.splitlines()
+                      if l.startswith("0 flow")]
+        assert len(flow_lines) == 1
+        assert "bytecount=" in flow_lines[0]
+        assert "packetcount=" in flow_lines[0]
+
+    def test_header_written(self, store):
+        assert dumps_store(store).startswith("# repro-tsdb-snapshot v1")
+
+    def test_file_round_trip(self, store, tmp_path):
+        path = tmp_path / "snapshot.tsdb"
+        lines = save_store(store, path)
+        assert lines > 0
+        restored = read_store(path)
+        assert restored.num_points() == store.num_points()
+
+    def test_empty_store(self):
+        restored = loads_store(dumps_store(TimeSeriesStore()))
+        assert len(restored) == 0
+
+    def test_scenario_store_round_trip(self):
+        """A realistic end-to-end snapshot of a generated scenario."""
+        from repro.workloads.pipeline import figure1_pipeline
+        original, _ = figure1_pipeline(n_samples=50, seed=3)
+        restored = loads_store(dumps_store(original))
+        assert restored.num_points() == original.num_points()
+        assert restored.metric_names() == original.metric_names()

@@ -1,0 +1,83 @@
+"""Unit tests for materialised rollup views."""
+
+import numpy as np
+import pytest
+
+from repro.sql import Database
+from repro.tsdb import SeriesId, TimeSeriesStore
+from repro.tsdb.model import SeriesFormatError
+from repro.tsdb.rollup import RollupCatalog, RollupSpec
+
+
+@pytest.fixture
+def store() -> TimeSeriesStore:
+    s = TimeSeriesStore()
+    ts = np.arange(60)
+    s.insert_array(SeriesId.make("latency", {"host": "h1"}), ts,
+                   np.arange(60.0))
+    s.insert_array(SeriesId.make("latency", {"host": "h2"}), ts,
+                   np.full(60, 5.0))
+    s.insert_array(SeriesId.make("cpu", {"host": "h1"}), ts,
+                   np.ones(60))
+    return s
+
+
+class TestRollupSpec:
+    def test_validation(self):
+        with pytest.raises(SeriesFormatError):
+            RollupSpec("bad", interval=0)
+        with pytest.raises(SeriesFormatError):
+            RollupSpec("bad", interval=5, agg="nope")
+
+
+class TestRollupCatalog:
+    def test_materialise_downsampled(self, store):
+        catalog = RollupCatalog(store)
+        catalog.define(RollupSpec("latency_10m", interval=10, agg="avg",
+                                  metric="latency"))
+        table = catalog.table("latency_10m")
+        # 60 samples / 10 per bucket * 2 hosts = 12 rows.
+        assert len(table) == 12
+        h1 = [r for r in table.rows if r[2] == {"host": "h1"}]
+        assert h1[0][3] == pytest.approx(4.5)   # mean of 0..9
+
+    def test_p99_rollup(self, store):
+        catalog = RollupCatalog(store)
+        catalog.define(RollupSpec("latency_p99", interval=60, agg="p99",
+                                  metric="latency"))
+        table = catalog.table("latency_p99")
+        h1 = [r for r in table.rows if r[2] == {"host": "h1"}][0]
+        assert h1[3] == pytest.approx(np.percentile(np.arange(60.0), 99))
+
+    def test_cache_hit_and_invalidation(self, store):
+        catalog = RollupCatalog(store)
+        catalog.define(RollupSpec("v", interval=10, metric="cpu"))
+        catalog.table("v")
+        assert catalog.is_cached("v")
+        store.insert(SeriesId.make("cpu", {"host": "h1"}), 60, 2.0)
+        assert not catalog.is_cached("v")
+        refreshed = catalog.table("v")
+        assert len(refreshed) == 7     # one more bucket
+
+    def test_unknown_rollup(self, store):
+        with pytest.raises(SeriesFormatError):
+            RollupCatalog(store).table("zzz")
+
+    def test_sql_registration(self, store):
+        catalog = RollupCatalog(store)
+        catalog.define(RollupSpec("latency_10m", interval=10,
+                                  metric="latency"))
+        db = Database()
+        catalog.register_all(db)
+        result = db.sql(
+            "SELECT tag['host'] h, AVG(value) v FROM latency_10m "
+            "GROUP BY tag['host'] ORDER BY h")
+        assert result.column("h") == ["h1", "h2"]
+
+    def test_tag_filtered_rollup(self, store):
+        catalog = RollupCatalog(store)
+        catalog.define(RollupSpec("h1_only", interval=30,
+                                  metric="latency",
+                                  tags={"host": "h1"}))
+        table = catalog.table("h1_only")
+        assert all(r[2] == {"host": "h1"} for r in table.rows)

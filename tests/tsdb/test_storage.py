@@ -1,0 +1,120 @@
+"""Unit tests for the columnar time series store."""
+
+import numpy as np
+import pytest
+
+from repro.tsdb.model import SeriesFormatError, SeriesId
+from repro.tsdb.storage import TimeSeriesStore
+
+
+@pytest.fixture
+def store() -> TimeSeriesStore:
+    s = TimeSeriesStore()
+    for i in range(3):
+        sid = SeriesId.make("disk", {"host": f"dn-{i}"})
+        s.insert_array(sid, range(10), [float(i)] * 10)
+    s.insert_array(SeriesId.make("cpu", {"host": "dn-0"}),
+                   range(5), [1.0, 2.0, 3.0, 4.0, 5.0])
+    return s
+
+
+class TestInsert:
+    def test_len_counts_series(self, store):
+        assert len(store) == 4
+
+    def test_num_points(self, store):
+        assert store.num_points() == 35
+
+    def test_out_of_order_rejected(self):
+        s = TimeSeriesStore()
+        sid = SeriesId.make("m")
+        s.insert(sid, 5, 1.0)
+        with pytest.raises(SeriesFormatError):
+            s.insert(sid, 3, 2.0)
+
+    def test_length_mismatch_rejected(self):
+        s = TimeSeriesStore()
+        with pytest.raises(SeriesFormatError):
+            s.insert_array(SeriesId.make("m"), [1, 2], [1.0])
+
+    def test_contains(self, store):
+        assert SeriesId.make("cpu", {"host": "dn-0"}) in store
+        assert SeriesId.make("cpu", {"host": "dn-9"}) not in store
+
+
+class TestIndexes:
+    def test_metric_names(self, store):
+        assert store.metric_names() == ["cpu", "disk"]
+
+    def test_tag_keys(self, store):
+        assert store.tag_keys() == ["host"]
+
+    def test_tag_values(self, store):
+        assert store.tag_values("host") == ["dn-0", "dn-1", "dn-2"]
+
+    def test_find_by_exact_name(self, store):
+        assert len(store.find(name="disk")) == 3
+
+    def test_find_by_tag(self, store):
+        found = store.find(tags={"host": "dn-0"})
+        assert len(found) == 2  # cpu + disk
+
+    def test_find_by_name_and_tag(self, store):
+        found = store.find(name="disk", tags={"host": "dn-0"})
+        assert len(found) == 1
+
+    def test_find_with_glob(self, store):
+        assert len(store.find(name="d*")) == 3
+        assert len(store.find(tags={"host": "dn-*"})) == 4
+
+    def test_find_no_match(self, store):
+        assert store.find(name="nothing") == []
+
+
+class TestArrays:
+    def test_full_range(self, store):
+        ts, vals = store.arrays(SeriesId.make("cpu", {"host": "dn-0"}))
+        assert ts.tolist() == [0, 1, 2, 3, 4]
+        assert vals.tolist() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_clipped_range(self, store):
+        ts, vals = store.arrays(SeriesId.make("cpu", {"host": "dn-0"}),
+                                start=1, end=4)
+        assert ts.tolist() == [1, 2, 3]
+        assert vals.tolist() == [2.0, 3.0, 4.0]
+
+    def test_unknown_series_raises(self, store):
+        with pytest.raises(SeriesFormatError):
+            store.arrays(SeriesId.make("nope"))
+
+    def test_time_range(self, store):
+        assert store.time_range() == (0, 9)
+
+    def test_time_range_empty_store(self):
+        with pytest.raises(SeriesFormatError):
+            TimeSeriesStore().time_range()
+
+
+class TestMutation:
+    def test_apply_transform(self, store):
+        sid = SeriesId.make("cpu", {"host": "dn-0"})
+        store.apply(sid, lambda ts, vals: vals * 2)
+        _, vals = store.arrays(sid)
+        assert vals.tolist() == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_apply_length_change_rejected(self, store):
+        sid = SeriesId.make("cpu", {"host": "dn-0"})
+        with pytest.raises(SeriesFormatError):
+            store.apply(sid, lambda ts, vals: vals[:-1])
+
+    def test_merge(self, store):
+        other = TimeSeriesStore()
+        other.insert_array(SeriesId.make("new_metric"), range(3),
+                           [1.0, 2.0, 3.0])
+        store.merge(other)
+        assert "new_metric" in store.metric_names()
+
+    def test_iter_points_ordered(self, store):
+        points = list(store.iter_points(
+            [SeriesId.make("cpu", {"host": "dn-0"})]))
+        assert [p.timestamp for p in points] == [0, 1, 2, 3, 4]

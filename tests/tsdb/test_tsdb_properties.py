@@ -1,0 +1,111 @@
+"""Property-based tests for the tsdb substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.tsdb import SeriesId, TimeSeriesStore
+from repro.tsdb.persist import dumps_store, loads_store
+from repro.tsdb.query import Downsampler, align_to_grid
+
+metric_names = st.sampled_from(["cpu", "disk", "runtime", "latency"])
+tag_values = st.sampled_from(["h1", "h2", "h3"])
+values = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def stores(draw):
+    store = TimeSeriesStore()
+    n_series = draw(st.integers(1, 5))
+    for i in range(n_series):
+        name = draw(metric_names)
+        host = draw(tag_values)
+        sid = SeriesId.make(name, {"host": host, "idx": str(i)})
+        n_points = draw(st.integers(1, 15))
+        vals = [draw(values) for _ in range(n_points)]
+        store.insert_array(sid, range(n_points), vals)
+    return store
+
+
+class TestStoreProperties:
+    @given(stores())
+    @settings(max_examples=30, deadline=None)
+    def test_persist_round_trip_identity(self, store):
+        restored = loads_store(dumps_store(store))
+        assert restored.series_ids() == store.series_ids()
+        for sid in store.series_ids():
+            _, original = store.arrays(sid)
+            _, loaded = restored.arrays(sid)
+            assert np.allclose(original, loaded, rtol=0, atol=0)
+
+    @given(stores())
+    @settings(max_examples=30, deadline=None)
+    def test_find_partition_by_name(self, store):
+        """Every series is found by exactly its own name filter."""
+        total = 0
+        for name in store.metric_names():
+            total += len(store.find(name=name))
+        assert total == len(store)
+
+    @given(stores(), st.integers(0, 10), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_time_clip_is_subset(self, store, start, width):
+        for sid in store.series_ids():
+            ts_all, _ = store.arrays(sid)
+            ts_clip, _ = store.arrays(sid, start=start, end=start + width)
+            assert set(ts_clip.tolist()) <= set(ts_all.tolist())
+            assert all(start <= t < start + width
+                       for t in ts_clip.tolist())
+
+
+class TestDownsamplerProperties:
+    @given(st.lists(values, min_size=1, max_size=40),
+           st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_preserved_by_sum_aggregator(self, vals, interval):
+        ts = np.arange(len(vals))
+        arr = np.asarray(vals)
+        _, out = Downsampler(interval, "sum").apply(ts, arr)
+        assert float(out.sum()) == np.float64(arr.sum()) or \
+            abs(float(out.sum()) - float(arr.sum())) <= 1e-6 * max(
+                1.0, abs(float(arr.sum())))
+
+    @given(st.lists(values, min_size=1, max_size=40),
+           st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_minmax_bracket_avg(self, vals, interval):
+        ts = np.arange(len(vals))
+        arr = np.asarray(vals)
+        _, lo = Downsampler(interval, "min").apply(ts, arr)
+        _, hi = Downsampler(interval, "max").apply(ts, arr)
+        _, mid = Downsampler(interval, "avg").apply(ts, arr)
+        assert np.all(lo <= mid + 1e-9)
+        assert np.all(mid <= hi + 1e-9)
+
+    @given(st.lists(values, min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_interval_one_is_identity(self, vals):
+        ts = np.arange(len(vals))
+        arr = np.asarray(vals)
+        out_ts, out_vals = Downsampler(1, "avg").apply(ts, arr)
+        assert np.array_equal(out_ts, ts)
+        assert np.allclose(out_vals, arr)
+
+
+class TestAlignmentProperties:
+    @given(st.lists(values, min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_alignment_uses_only_observed_values(self, vals):
+        ts = np.arange(0, 3 * len(vals), 3)
+        arr = np.asarray(vals)
+        grid = np.arange(3 * len(vals))
+        aligned = align_to_grid(ts, arr, grid)
+        observed = set(arr.tolist())
+        assert set(aligned.tolist()) <= observed
+
+    @given(st.lists(values, min_size=2, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_alignment_exact_at_observations(self, vals):
+        ts = np.arange(len(vals))
+        arr = np.asarray(vals)
+        aligned = align_to_grid(ts, arr, ts)
+        assert np.array_equal(aligned, arr)

@@ -1,0 +1,129 @@
+"""Unit tests for the data-centre SCM model."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datacenter import ClusterConfig, DataCenterModel
+from repro.workloads.faults import PacketDropFault
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DataCenterModel(ClusterConfig(n_samples=120, seed=3)).build()
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_pipelines=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(n_samples=5)
+
+    def test_entity_names(self, model):
+        assert model.pipelines()[0] == "pipeline-1"
+        assert len(model.datanodes()) == 6
+        assert model.service_hosts()[0].startswith("web")
+
+
+class TestBuild:
+    def test_metric_inventory(self, model):
+        names = {s.name for s in model.var_series.values()}
+        expected = {"pipeline_runtime", "pipeline_latency",
+                    "pipeline_input_rate", "hdfs_save_time", "jvm_gc_time",
+                    "disk_io", "disk_write_latency", "disk_read_latency",
+                    "tcp_retransmits", "cpu_util", "load_avg", "mem_util",
+                    "namenode_rpc_rate", "namenode_rpc_latency",
+                    "namenode_gc_time", "namenode_live_threads"}
+        assert expected <= names
+
+    def test_build_idempotent(self, model):
+        before = len(model.var_series)
+        model.build()
+        assert len(model.var_series) == before
+
+    def test_causal_chain_present(self, model):
+        dag = model.scm.dag
+        assert "pipeline_runtime@pipeline-1" in dag.descendants(
+            "disk_write_latency@datanode-1")
+        assert "pipeline_latency@pipeline-1" in dag.descendants(
+            "pipeline_runtime@pipeline-1")
+
+
+class TestSimulate:
+    def test_store_populated(self, model):
+        result = model.simulate()
+        assert len(result.store) == len(model.var_series)
+        assert result.store.num_points() == \
+            len(model.var_series) * model.config.n_samples
+
+    def test_metrics_nonnegative(self, model):
+        result = model.simulate()
+        for var in model.var_series:
+            assert result.values[var].min() >= 0.0, var
+
+    def test_deterministic_given_seed(self):
+        a = DataCenterModel(ClusterConfig(n_samples=60, seed=9)).simulate()
+        b = DataCenterModel(ClusterConfig(n_samples=60, seed=9)).simulate()
+        var = "pipeline_runtime@pipeline-1"
+        assert np.array_equal(a.values[var], b.values[var])
+
+    def test_runtime_tracks_input(self, model):
+        """The healthy system's structural story: load drives runtime."""
+        result = model.simulate()
+        load = result.values["pipeline_input_rate@pipeline-1"]
+        runtime = result.values["pipeline_runtime@pipeline-1"]
+        assert np.corrcoef(load, runtime)[0, 1] > 0.3
+
+
+class TestFaultsAndLabels:
+    def test_fault_raises_runtime_in_window(self):
+        config = ClusterConfig(n_samples=200, seed=5)
+        clean = DataCenterModel(config)
+        clean_runtime = clean.simulate().values[
+            "pipeline_runtime@pipeline-1"]
+        faulty = DataCenterModel(config)
+        PacketDropFault(start=100, end=130).attach(faulty)
+        faulty_runtime = faulty.simulate().values[
+            "pipeline_runtime@pipeline-1"]
+        in_window = faulty_runtime[100:130].mean()
+        outside = faulty_runtime[:100].mean()
+        assert in_window > outside + 3.0
+        # Same seed: outside the window the traces agree closely.
+        assert abs(clean_runtime[:100].mean() - outside) < 1.0
+
+    def test_classify_families(self):
+        model = DataCenterModel(ClusterConfig(n_samples=120, seed=1))
+        PacketDropFault(start=60, end=80).attach(model)
+        causes, effects = model.classify_families(
+            "pipeline_runtime",
+            redundant={"pipeline_latency", "hdfs_save_time"})
+        assert "tcp_retransmits" in causes
+        assert "disk_write_latency" in causes
+        assert "pipeline_latency" in effects
+        assert "hdfs_save_time" in effects
+        assert "pipeline_runtime" not in causes | effects
+        assert not causes & effects
+
+    def test_unmonitored_fault_variable(self):
+        model = DataCenterModel(ClusterConfig(n_samples=120, seed=1))
+        var = PacketDropFault(start=10, end=20).attach(model)
+        assert var not in model.var_series      # fault is unobserved
+        result = model.simulate()
+        assert not any(s.name == "packet_drop"
+                       for s in result.store.series_ids())
+
+    def test_fault_signal_length_checked(self, model):
+        with pytest.raises(ValueError):
+            model.add_fault_variable("bad", np.zeros(7), [])
+
+    def test_fault_unknown_target_checked(self):
+        model = DataCenterModel(ClusterConfig(n_samples=60, seed=1)).build()
+        with pytest.raises(ValueError):
+            model.add_fault_variable(
+                "bad", np.zeros(60), [("nonexistent@host", 1.0)])
+
+    def test_intervene_validates(self, model):
+        with pytest.raises(ValueError):
+            model.intervene("zzz", np.zeros(model.config.n_samples))
+        with pytest.raises(ValueError):
+            model.intervene("pipeline_input_rate@pipeline-1", np.zeros(3))

@@ -1,0 +1,115 @@
+"""Unit tests for the fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datacenter import ClusterConfig, DataCenterModel
+from repro.workloads.faults import (
+    GcPressureFault,
+    HypervisorDropFault,
+    InputSkewFault,
+    MemoryLeakFault,
+    NamenodeScanFault,
+    PacketDropFault,
+    RaidCheckFault,
+    SlowDiskFault,
+)
+
+
+def fresh_model(n=120, seed=2):
+    return DataCenterModel(ClusterConfig(n_samples=n, seed=seed))
+
+
+class TestPacketDropFault:
+    def test_raises_retransmits_in_window(self):
+        model = fresh_model()
+        PacketDropFault(start=50, end=80).attach(model)
+        values = model.simulate().values
+        retrans = values["tcp_retransmits@datanode-1"]
+        assert retrans[50:80].mean() > retrans[:50].mean() + 10
+
+    def test_drop_rate_scales_impact(self):
+        low = fresh_model()
+        PacketDropFault(start=50, end=80, drop_rate=0.05).attach(low)
+        high = fresh_model()
+        PacketDropFault(start=50, end=80, drop_rate=0.20).attach(high)
+        low_r = low.simulate().values["tcp_retransmits@datanode-1"]
+        high_r = high.simulate().values["tcp_retransmits@datanode-1"]
+        assert high_r[50:80].mean() > low_r[50:80].mean()
+
+
+class TestNamenodeScanFault:
+    def test_periodic_rpc_spikes(self):
+        model = fresh_model(n=150)
+        NamenodeScanFault(period=15, duration=5).attach(model)
+        rate = model.simulate().values["namenode_rpc_rate@namenode-1"]
+        in_scan = rate[np.arange(150) % 15 < 5]
+        out_scan = rate[np.arange(150) % 15 >= 5]
+        assert in_scan.mean() > out_scan.mean() + 30
+
+    def test_gc_suppressed_during_scans(self):
+        model = fresh_model(n=150)
+        NamenodeScanFault(period=15, duration=5).attach(model)
+        gc = model.simulate().values["namenode_gc_time@namenode-1"]
+        in_scan = gc[np.arange(150) % 15 < 5]
+        out_scan = gc[np.arange(150) % 15 >= 5]
+        assert in_scan.mean() < out_scan.mean()
+
+
+class TestRaidCheckFault:
+    def test_capacity_scales_impact(self):
+        full = fresh_model(n=100)
+        RaidCheckFault(period=50, duration=10, capacity=0.20).attach(full)
+        capped = fresh_model(n=100)
+        RaidCheckFault(period=50, duration=10, capacity=0.05).attach(capped)
+        io_full = full.simulate().values["disk_io@datanode-1"]
+        io_capped = capped.simulate().values["disk_io@datanode-1"]
+        window = np.arange(100) % 50 < 10
+        assert io_full[window].mean() > io_capped[window].mean() + 10
+
+    def test_exports_temperature_sensor(self):
+        model = fresh_model(n=100)
+        RaidCheckFault(period=50, duration=10).attach(model)
+        store = model.simulate().store
+        assert "raid_temperature" in store.metric_names()
+
+
+class TestLocalisedFaults:
+    def test_slow_disk_hits_one_node_only(self):
+        model = fresh_model()
+        SlowDiskFault(start=40, end=90, node_index=1).attach(model)
+        values = model.simulate().values
+        hit = values["disk_write_latency@datanode-2"]
+        spared = values["disk_write_latency@datanode-5"]
+        assert hit[40:90].mean() > spared[40:90].mean() + 5
+
+    def test_gc_pressure_hits_one_pipeline(self):
+        model = fresh_model()
+        GcPressureFault(start=40, end=90, pipeline_index=0).attach(model)
+        values = model.simulate().values
+        hit = values["jvm_gc_time@pipeline-1"]
+        spared = values["jvm_gc_time@pipeline-2"]
+        assert hit[40:90].mean() > spared[40:90].mean() + 3
+
+    def test_input_skew_drives_all_pipelines(self):
+        model = fresh_model()
+        InputSkewFault(start=40, end=90).attach(model)
+        values = model.simulate().values
+        for pipe in model.pipelines():
+            load = values[f"pipeline_input_rate@{pipe}"]
+            assert load[40:90].mean() > load[:40].mean() + 20
+
+    def test_memory_leak_drifts_upward(self):
+        model = fresh_model(n=200)
+        MemoryLeakFault(severity=1.0).attach(model)
+        values = model.simulate().values
+        mem = values["mem_util@web-1"]
+        assert mem[-40:].mean() > mem[:40].mean() + 10
+
+    def test_hypervisor_fault_takes_custom_signal(self):
+        model = fresh_model()
+        signal = np.zeros(120)
+        signal[60:] = 1.0
+        HypervisorDropFault(signal=signal).attach(model)
+        retrans = model.simulate().values["tcp_retransmits@datanode-1"]
+        assert retrans[60:].mean() > retrans[:60].mean() + 3

@@ -1,0 +1,38 @@
+"""Unit tests for the Figure 1 pipeline generator."""
+
+import numpy as np
+
+from repro.core.engine import ExplainItSession
+from repro.workloads.pipeline import figure1_pipeline
+
+
+class TestFigure1Pipeline:
+    def test_store_contents(self):
+        store, dag = figure1_pipeline(n_samples=200, seed=0)
+        assert set(store.metric_names()) == {"input_rate", "runtime",
+                                             "disk"}
+        assert len(store.find(name="disk")) == 3
+
+    def test_ground_truth_structure(self):
+        _, dag = figure1_pipeline(n_samples=100, seed=0)
+        assert "runtime_sec" in dag.descendants("events_per_sec")
+        assert "fs_write_latency_ms" in dag.descendants("runtime_sec")
+        # Z -> Y -> X chain: Z d-separated from X given Y.
+        assert dag.d_separated("events_per_sec", "fs_write_latency_ms",
+                               given=["runtime_sec"])
+
+    def test_engine_finds_both_neighbours(self):
+        store, _ = figure1_pipeline(n_samples=400, seed=1)
+        session = ExplainItSession(store)
+        session.set_target("runtime")
+        table = session.explain(scorer="L2")
+        assert {r.family for r in table.top(2)} == {"input_rate", "disk"}
+
+    def test_conditioning_on_input_keeps_disk(self):
+        store, _ = figure1_pipeline(n_samples=400, seed=1)
+        session = ExplainItSession(store)
+        session.set_target("runtime")
+        session.set_condition("input_rate")
+        table = session.explain(scorer="L2")
+        assert table.results[0].family == "disk"
+        assert table.results[0].score > 0.1

@@ -1,0 +1,73 @@
+"""Unit tests for the flow-trace generator and ingest round trip."""
+
+import numpy as np
+import pytest
+
+from repro.tsdb.ingest import parse_line
+from repro.workloads.flows import (
+    FlowConfig,
+    FlowEvent,
+    FlowGenerator,
+    aggregate_flow_features,
+)
+
+
+class TestFlowEvent:
+    def test_line_round_trips_through_ingest(self):
+        event = FlowEvent(timestamp=3, src="datanode-1",
+                          dest="datanode-2", srcport=40000, destport=80,
+                          packetcount=10, bytecount=1000, retransmits=1)
+        points = parse_line(event.to_line())
+        names = {p.series.name for p in points}
+        assert names == {"flow.bytecount", "flow.packetcount",
+                         "flow.retransmits"}
+        assert all(p.timestamp == 3 for p in points)
+        assert all(p.series.tag("src") == "datanode-1" for p in points)
+
+
+class TestFlowGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return FlowGenerator(FlowConfig(n_samples=30, seed=1))
+
+    def test_flow_keys_sampled(self, generator):
+        assert generator.n_flows > 0
+
+    def test_events_time_ordered(self, generator):
+        timestamps = [e.timestamp for e in generator.events()]
+        assert timestamps == sorted(timestamps)
+
+    def test_deterministic_pairs(self):
+        a = FlowGenerator(FlowConfig(seed=5))
+        b = FlowGenerator(FlowConfig(seed=5))
+        assert a._pairs == b._pairs
+
+    def test_to_store_round_trip(self, generator):
+        store = generator.to_store()
+        assert set(store.metric_names()) == {"flow.bytecount",
+                                             "flow.packetcount",
+                                             "flow.retransmits"}
+        assert store.num_points() > 0
+
+    def test_drop_window_raises_retransmits(self):
+        config = FlowConfig(n_samples=40, seed=2)
+        clean = FlowGenerator(config).to_store()
+        faulty = FlowGenerator(config).to_store(drop_window=(20, 30))
+
+        def total_retransmits(store, lo, hi):
+            total = 0.0
+            for sid in store.find(name="flow.retransmits"):
+                _, values = store.arrays(sid, start=lo, end=hi)
+                total += values.sum()
+            return total
+
+        clean_in = total_retransmits(clean, 20, 30)
+        faulty_in = total_retransmits(faulty, 20, 30)
+        assert faulty_in > 3 * max(clean_in, 1.0)
+
+    def test_sql_aggregation(self, generator):
+        table = aggregate_flow_features(generator.to_store())
+        assert table.columns[:2] == ["timestamp", "src"]
+        assert len(table) > 0
+        retrans = [r[2] for r in table.rows if r[2] is not None]
+        assert all(v >= 0 for v in retrans)

@@ -1,0 +1,97 @@
+"""Unit tests for the Table 6 incident generator."""
+
+import numpy as np
+import pytest
+
+from repro.scoring import CorrMaxScorer, L2Scorer
+from repro.workloads.incidents import (
+    CAUSE_KINDS,
+    Incident,
+    IncidentSpec,
+    make_incident,
+    standard_incidents,
+)
+
+
+class TestIncidentSpec:
+    def test_bad_cause_kind(self):
+        with pytest.raises(ValueError):
+            IncidentSpec(1, "mystery")
+
+    def test_kinds_complete(self):
+        assert set(CAUSE_KINDS) == {"univariate", "joint",
+                                    "weak-univariate", "weak-joint"}
+
+
+class TestMakeIncident:
+    @pytest.fixture(scope="class")
+    def univariate(self):
+        return make_incident(IncidentSpec(99, "univariate", seed=5))
+
+    @pytest.fixture(scope="class")
+    def joint(self):
+        return make_incident(IncidentSpec(98, "joint", seed=6,
+                                          cause_features=40,
+                                          joint_noise=2.0))
+
+    def test_structure(self, univariate):
+        assert univariate.target == "target_kpi"
+        assert univariate.causes == {"root_cause_service"}
+        assert len(univariate.effects) == 3
+        assert univariate.n_features > 100
+
+    def test_deterministic(self):
+        spec = IncidentSpec(1, "univariate", seed=7)
+        a = make_incident(spec)
+        b = make_incident(spec)
+        assert np.array_equal(a.families["target_kpi"].matrix,
+                              b.families["target_kpi"].matrix)
+
+    def test_univariate_cause_found_by_corrmax(self, univariate):
+        y = univariate.families["target_kpi"].matrix
+        x = univariate.families["root_cause_service"].matrix
+        assert CorrMaxScorer().score(x, y) > 0.8
+
+    def test_joint_cause_invisible_to_corrmax(self, joint):
+        y = joint.families["target_kpi"].matrix
+        x = joint.families["root_cause_service"].matrix
+        corr_max = CorrMaxScorer().score(x, y)
+        joint = L2Scorer().score(x, y)
+        assert corr_max < 0.5
+        assert joint > 0.4
+        assert joint > corr_max
+
+    def test_effects_track_target(self, univariate):
+        y = univariate.families["target_kpi"].matrix[:, 0]
+        for name in univariate.effects:
+            eff = univariate.families[name].matrix[:, 0]
+            assert abs(np.corrcoef(y, eff)[0, 1]) > 0.2
+
+    def test_background_unrelated_to_activation(self, univariate):
+        activation = univariate.extra["activation"]
+        bg = univariate.families["background_0"].matrix[:, 0]
+        assert abs(np.corrcoef(activation, bg)[0, 1]) < 0.35
+
+
+class TestStandardIncidents:
+    @pytest.fixture(scope="class")
+    def incidents(self):
+        return standard_incidents()
+
+    def test_eleven_incidents(self, incidents):
+        assert len(incidents) == 11
+        assert [i.name for i in incidents] == [
+            f"incident-{k}" for k in range(1, 12)]
+
+    def test_scale_parameter(self):
+        small = standard_incidents(scale=0.5)[0]
+        assert small.n_families < standard_incidents()[0].n_families
+
+    def test_kind_mix(self, incidents):
+        kinds = {i.spec.cause_kind for i in incidents}
+        assert kinds == set(CAUSE_KINDS)
+
+    def test_family_feature_counts_reported(self, incidents):
+        for incident in incidents:
+            assert incident.n_families >= 20
+            assert incident.n_features >= incident.n_families

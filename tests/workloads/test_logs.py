@@ -1,0 +1,105 @@
+"""Unit tests for log-template mining and log-derived time series."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.logs import (
+    LogTemplateMiner,
+    generate_cluster_logs,
+    log_counts_store,
+    mask_token,
+)
+
+
+class TestMaskToken:
+    @pytest.mark.parametrize("token,expected", [
+        ("12345", "<num>"), ("3.14", "<num>"),
+        ("deadbeef99", "<id>"), ("0xABCDEF12", "<id>"),
+        ("/var/log/app.log", "<path>"),
+        ("datanode-3", "<host>"),
+        ("INFO", "INFO"), ("served", "served"),
+    ])
+    def test_masking(self, token, expected):
+        assert mask_token(token) == expected
+
+
+class TestLogTemplateMiner:
+    def test_same_shape_lines_share_template(self):
+        miner = LogTemplateMiner()
+        a = miner.add("INFO datanode-1 served block 123 in 5 ms")
+        b = miner.add("INFO datanode-2 served block 456 in 9 ms")
+        assert a.template_id == b.template_id
+        assert a.count == 2
+
+    def test_different_messages_get_different_templates(self):
+        miner = LogTemplateMiner()
+        a = miner.add("INFO heartbeat received")
+        b = miner.add("ERROR write failed badly")
+        assert a.template_id != b.template_id
+
+    def test_near_identical_templates_merge_with_wildcard(self):
+        miner = LogTemplateMiner()
+        miner.add("connection from web opened")
+        merged = miner.add("connection from app opened")
+        assert "<*>" in merged.tokens
+        assert len(miner.all_templates()) == 1
+
+    def test_counts_accumulate(self):
+        miner = LogTemplateMiner()
+        for _ in range(5):
+            miner.add("INFO tick 1")
+        assert miner.all_templates()[0].count == 5
+
+
+class TestLogCountsStore:
+    def test_counts_per_template_per_minute(self):
+        records = [
+            (0, "ERROR disk failed on datanode-1"),
+            (0, "ERROR disk failed on datanode-2"),
+            (1, "ERROR disk failed on datanode-1"),
+            (1, "INFO all good here now"),
+        ]
+        store, miner = log_counts_store(records, horizon=3)
+        assert len(store) == 2                       # two templates
+        error_sid = next(s for s in store.series_ids()
+                         if "ERROR" in (s.tag("text") or ""))
+        _, counts = store.arrays(error_sid)
+        assert counts.tolist() == [2.0, 1.0, 0.0]    # zero-filled
+
+    def test_horizon_inferred(self):
+        store, _ = log_counts_store([(4, "INFO tick now")])
+        _, counts = store.arrays(store.series_ids()[0])
+        assert counts.size == 5
+
+
+class TestClusterLogs:
+    def test_error_burst_visible(self):
+        records = list(generate_cluster_logs(
+            n_samples=60, error_window=(30, 40), seed=1))
+        store, _ = log_counts_store(records, horizon=60)
+        error_series = [s for s in store.series_ids()
+                        if "ERROR" in (s.tag("text") or "")]
+        assert error_series
+        _, counts = store.arrays(error_series[0])
+        assert counts[30:40].sum() > 5 * max(counts[:30].sum(), 1.0)
+
+    def test_log_family_rankable_by_engine(self):
+        """End to end: log-derived families join the causal ranking."""
+        from repro.core.engine import ExplainItSession
+        from repro.tsdb.model import SeriesId
+        rng = np.random.default_rng(2)
+        n = 120
+        records = list(generate_cluster_logs(
+            n_samples=n, error_window=(60, 75), seed=2))
+        store, _ = log_counts_store(records, horizon=n)
+        # A KPI that reacts to the same underlying fault.
+        error_sid = next(s for s in store.series_ids()
+                         if "ERROR" in (s.tag("text") or ""))
+        _, errors = store.arrays(error_sid)
+        kpi = 20 + 2.0 * errors + rng.standard_normal(n)
+        store.insert_array(SeriesId.make("pipeline_runtime"),
+                           np.arange(n), kpi)
+        session = ExplainItSession(store)
+        session.set_target("pipeline_runtime")
+        table = session.explain(scorer="CorrMax")
+        assert table.results[0].family == "log_count"

@@ -1,0 +1,80 @@
+"""Unit tests for signal building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import signals
+
+
+class TestPeriodicSignals:
+    def test_diurnal_period(self):
+        s = signals.diurnal(2880, amplitude=2.0, period=1440)
+        assert s[0] == pytest.approx(0.0, abs=1e-9)
+        assert s[360] == pytest.approx(2.0, abs=1e-9)      # quarter period
+        assert s[1440] == pytest.approx(0.0, abs=1e-6)
+
+    def test_weekly_alias(self):
+        s = signals.weekly(signals.MINUTES_PER_WEEK, amplitude=1.0)
+        assert s.shape == (signals.MINUTES_PER_WEEK,)
+
+    def test_sawtooth_resets(self):
+        s = signals.sawtooth(100, period=10, amplitude=5.0)
+        assert s[0] == 0.0
+        assert s[9] == pytest.approx(4.5)
+        assert s[10] == 0.0
+
+    def test_sawtooth_bad_period(self):
+        with pytest.raises(ValueError):
+            signals.sawtooth(10, period=0)
+
+
+class TestWindows:
+    def test_window_bounds(self):
+        w = signals.window(10, 3, 6, level=2.0)
+        assert w.tolist() == [0, 0, 0, 2, 2, 2, 0, 0, 0, 0]
+
+    def test_window_clipped_to_range(self):
+        w = signals.window(5, -3, 99, level=1.0)
+        assert w.tolist() == [1, 1, 1, 1, 1]
+
+    def test_periodic_windows(self):
+        w = signals.periodic_windows(30, period=10, duration=3)
+        assert w[:10].tolist() == [1, 1, 1, 0, 0, 0, 0, 0, 0, 0]
+        assert np.array_equal(w[:10], w[10:20])
+
+    def test_periodic_windows_offset(self):
+        w = signals.periodic_windows(20, period=10, duration=2, offset=4)
+        assert w[4] == 1.0 and w[5] == 1.0 and w[6] == 0.0
+
+    def test_periodic_windows_validation(self):
+        with pytest.raises(ValueError):
+            signals.periodic_windows(10, period=0, duration=1)
+
+    def test_spikes(self):
+        s = signals.spikes(20, [5, 15], width=2, height=3.0)
+        assert s[5] == 3.0 and s[6] == 3.0 and s[7] == 0.0
+        assert s[15] == 3.0
+
+    def test_step(self):
+        s = signals.step(10, 4, level=2.0)
+        assert s[3] == 0.0 and s[4] == 2.0 and s[9] == 2.0
+
+
+class TestStochasticSignals:
+    def test_random_walk_starts_at_origin(self, rng):
+        w = signals.random_walk(100, rng, start=5.0)
+        assert w[0] == 5.0
+
+    def test_random_walk_spread_grows(self, rng):
+        walks = np.array([signals.random_walk(200, np.random.default_rng(i))
+                          for i in range(50)])
+        assert walks[:, -1].std() > walks[:, 10].std()
+
+    def test_bursty_counts_nonnegative(self, rng):
+        counts = signals.bursty_counts(500, rng)
+        assert counts.min() >= 0
+
+    def test_bursty_counts_have_bursts(self, rng):
+        counts = signals.bursty_counts(2000, rng, rate=5.0,
+                                       burst_prob=0.05)
+        assert counts.max() > 5 * counts.mean()

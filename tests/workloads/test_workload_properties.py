@@ -1,0 +1,81 @@
+"""Property-based tests on the workload generators (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.causal import partial_correlation
+from repro.workloads.datacenter import ClusterConfig, DataCenterModel
+from repro.workloads.incidents import CAUSE_KINDS, IncidentSpec, make_incident
+from repro.workloads.signals import periodic_windows, window
+
+
+class TestSignalProperties:
+    @given(st.integers(1, 50), st.integers(1, 50), st.integers(0, 100),
+           st.integers(20, 120))
+    @settings(max_examples=40, deadline=None)
+    def test_periodic_window_duty_cycle(self, period, duration, offset, n):
+        sig = periodic_windows(n, period, duration, offset=offset)
+        expected = min(duration / period, 1.0)
+        assert abs(sig.mean() - expected) <= max(period / n, 0.5)
+
+    @given(st.integers(0, 50), st.integers(0, 50), st.integers(10, 80))
+    @settings(max_examples=40, deadline=None)
+    def test_window_bounds(self, start, end, n):
+        sig = window(n, start, end)
+        assert sig.sum() == max(0, min(end, n) - max(0, start))
+
+
+class TestIncidentProperties:
+    @given(st.sampled_from(CAUSE_KINDS), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_incident_invariants(self, kind, seed):
+        incident = make_incident(IncidentSpec(
+            0, kind, n_background=8, n_large_families=1,
+            large_family_features=30, n_samples=120, seed=seed))
+        # The target is never in its own search space labels.
+        assert incident.target not in incident.causes | incident.effects
+        # Causes and effects are disjoint.
+        assert not incident.causes & incident.effects
+        # Every labelled family exists.
+        for name in incident.causes | incident.effects:
+            assert name in incident.families
+        # All families share one sample count.
+        lengths = {f.n_samples for f in incident.families}
+        assert len(lengths) == 1
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_effects_correlate_with_target(self, seed):
+        incident = make_incident(IncidentSpec(
+            0, "univariate", n_background=5, n_large_families=0,
+            n_samples=150, seed=seed))
+        target = incident.families[incident.target].matrix[:, 0]
+        for name in incident.effects:
+            effect = incident.families[name].matrix[:, 0]
+            assert abs(np.corrcoef(target, effect)[0, 1]) > 0.15
+
+
+class TestDatacenterFaithfulness:
+    @given(st.integers(0, 200))
+    @settings(max_examples=5, deadline=None)
+    def test_dseparation_reflected_in_data(self, seed):
+        """Conditioning on disk_io weakens the disk_io -> write_latency
+        driven dependence between input rate and write latency relative
+        to marginal dependence (the SCM is Markov to its DAG)."""
+        model = DataCenterModel(ClusterConfig(n_samples=240, seed=seed))
+        values = model.simulate().values
+        load = values["pipeline_input_rate@pipeline-1"]
+        disk_io = values["disk_io@datanode-1"]
+        write = values["disk_write_latency@datanode-1"]
+        marginal = abs(partial_correlation(load, write))
+        conditioned = abs(partial_correlation(load, write,
+                                              disk_io[:, None]))
+        assert conditioned <= marginal + 0.08
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=5, deadline=None)
+    def test_all_metrics_nonnegative(self, seed):
+        model = DataCenterModel(ClusterConfig(n_samples=120, seed=seed))
+        result = model.simulate()
+        for var in model.var_series:
+            assert result.values[var].min() >= 0.0, var
