@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
+from repro.engine_exec.executor import BACKENDS
 from repro.scoring.base import list_scorers
 from repro.workloads import scenarios as scenario_module
 
@@ -48,6 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--seed", type=int, default=0)
     explain.add_argument("--condition", default=None,
                          help="family to condition on (or 'none')")
+    explain.add_argument("--backend", default=None,
+                         choices=list(BACKENDS),
+                         help="execution backend (default: in-line "
+                              "sequential; 'batch' vectorizes across "
+                              "hypotheses)")
+    explain.add_argument("--workers", type=int, default=4,
+                         help="worker count for thread/process backends")
 
     table6 = sub.add_parser("table6", help="run the §6.1 evaluation")
     table6.add_argument("--scale", type=float, default=1.0)
@@ -87,7 +95,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
     if args.condition is not None:
         session.set_condition(None if args.condition.lower() == "none"
                               else args.condition)
-    table = session.explain(scorer=args.scorer, top_k=args.top)
+    table = session.explain(scorer=args.scorer, top_k=args.top,
+                            backend=args.backend, n_workers=args.workers)
     print(f"Scenario: {scenario.name} — {scenario.description}")
     print(f"Ground-truth causes: {sorted(scenario.causes)}")
     print()

@@ -126,8 +126,17 @@ class ExplainItSession:
     def explain(self, scorer: str = "L2-P50",
                 search: Iterable[str] | None = None,
                 exclude: Iterable[str] = (),
-                top_k: int = DEFAULT_TOP_K) -> ScoreTable:
-        """Run one iteration of Algorithm 1 and return the Score Table."""
+                top_k: int = DEFAULT_TOP_K,
+                backend: str | None = None,
+                n_workers: int = 4) -> ScoreTable:
+        """Run one iteration of Algorithm 1 and return the Score Table.
+
+        ``backend`` picks the execution backend ("thread", "process" or
+        "batch"); ``None`` keeps the in-line sequential loop.  The
+        ranking is identical either way — "batch" shares the target/
+        condition-side work across all candidate families and is the
+        fast choice for interactive sessions.
+        """
         if self._target is None:
             raise FamilyError("set_target before explain()")
         families = self._ensure_families()
@@ -135,16 +144,20 @@ class ExplainItSession:
             families, self._target, condition=self._condition,
             search=search, exclude=exclude,
         )
-        table = rank_families(hypotheses, scorer=scorer, top_k=top_k)
+        table = rank_families(hypotheses, scorer=scorer, top_k=top_k,
+                              backend=backend, n_workers=n_workers)
         self.db.register("score", table.to_table())
         self.history.append(table)
         return table
 
     def drill_down(self, families: Sequence[str],
                    scorer: str = "L2-P50",
-                   top_k: int = DEFAULT_TOP_K) -> ScoreTable:
+                   top_k: int = DEFAULT_TOP_K,
+                   backend: str | None = None,
+                   n_workers: int = 4) -> ScoreTable:
         """Re-rank within a narrowed search space (the §5.4 workflow)."""
-        return self.explain(scorer=scorer, search=families, top_k=top_k)
+        return self.explain(scorer=scorer, search=families, top_k=top_k,
+                            backend=backend, n_workers=n_workers)
 
     def suggest_event_window(self, window: int = 30,
                              threshold: float = 4.0):

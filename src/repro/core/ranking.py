@@ -109,13 +109,27 @@ class ScoreTable:
 def rank_families(hypotheses: Sequence[Hypothesis],
                   scorer: Scorer | str = "L2-P50",
                   top_k: int = DEFAULT_TOP_K,
-                  score_fn: Callable[[Hypothesis], float] | None = None
-                  ) -> ScoreTable:
+                  score_fn: Callable[[Hypothesis], float] | None = None,
+                  backend: str | None = None,
+                  n_workers: int = 4) -> ScoreTable:
     """Score every hypothesis and produce the ranked Score Table.
 
     ``score_fn`` overrides the scorer for callers that wrap scoring with
     extra machinery (e.g. the parallel executor's timing instrumentation).
+
+    ``backend`` selects an execution backend ("thread", "process" or
+    "batch") and delegates scoring to the
+    :class:`~repro.engine_exec.executor.HypothesisExecutor`; ``None``
+    (the default) keeps the in-line sequential loop.  Every backend
+    produces an identical ranking — "batch" shares Y/Z-side work across
+    hypotheses and is the fast choice for interactive sessions.
     """
+    if backend is not None:
+        if score_fn is not None:
+            raise ValueError("pass either score_fn or backend, not both")
+        from repro.engine_exec.executor import HypothesisExecutor
+        executor = HypothesisExecutor(n_workers=n_workers, backend=backend)
+        return executor.run(hypotheses, scorer=scorer, top_k=top_k).score_table
     if isinstance(scorer, str):
         scorer = get_scorer(scorer)
     if not hypotheses:

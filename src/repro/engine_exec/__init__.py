@@ -1,23 +1,53 @@
-"""Execution substrate: parallel hypothesis scoring (§4, §6.2).
+"""Execution substrate: parallel and batched hypothesis scoring (§4, §6.2).
 
 The paper's deployment runs one Spark executor per hypothesis, each
 talking to a local Python scikit kernel over gRPC.  The reproduction
 keeps the same architecture shape — the *unit of parallelism is the
-hypothesis* — on a thread pool (numpy releases the GIL inside the SVD/
-BLAS kernels that dominate scoring):
+hypothesis* — behind a ``backend=`` switch:
 
 - :class:`~repro.engine_exec.executor.HypothesisExecutor` — schedules
   hypotheses across workers, records per-hypothesis wall time.
+  ``backend="thread"`` (default) uses a thread pool (numpy releases the
+  GIL inside the SVD/BLAS kernels that dominate scoring of large
+  matrices); ``backend="process"`` uses a process pool and pickles the
+  matrices across the boundary; ``backend="batch"`` dispatches to the
+  vectorized group planner below.
+- :mod:`repro.engine_exec.batch` — the batched execution subsystem:
+  :func:`~repro.engine_exec.batch.plan_batches` groups hypotheses by
+  their shared (Y, Z) matrices and
+  :func:`~repro.engine_exec.batch.execute_batches` scores each group in
+  stacked numpy operations through the
+  :class:`~repro.scoring.base.BatchScorer` protocol, falling back to the
+  per-hypothesis loop for scorers without a vectorized path.  Scores are
+  bitwise identical to the sequential path.
 - :class:`~repro.engine_exec.accounting.SerializationAccounting` —
   measures the matrix (de)serialisation share of scoring time, the §6.2
   instrumentation that found ~25% overhead for univariate scorers and
   ~5% for joint scorers.
 - Broadcast-join hypothesis construction lives in
   :func:`repro.core.hypothesis.generate_hypotheses`: Y and Z are built
-  once and shared (not copied) across every X hypothesis.
+  once and shared (not copied) across every X hypothesis — which is
+  exactly the structure ``plan_batches`` recovers by identity grouping.
 """
 
-from repro.engine_exec.executor import ExecutionReport, HypothesisExecutor
 from repro.engine_exec.accounting import SerializationAccounting
+from repro.engine_exec.batch import (
+    HypothesisBatch,
+    execute_batches,
+    plan_batches,
+)
+from repro.engine_exec.executor import (
+    BACKENDS,
+    ExecutionReport,
+    HypothesisExecutor,
+)
 
-__all__ = ["HypothesisExecutor", "ExecutionReport", "SerializationAccounting"]
+__all__ = [
+    "BACKENDS",
+    "HypothesisExecutor",
+    "ExecutionReport",
+    "SerializationAccounting",
+    "HypothesisBatch",
+    "plan_batches",
+    "execute_batches",
+]

@@ -4,13 +4,33 @@
 easily on one machine; thus, our unit of parallelisation is the
 hypothesis.  This avoids the parallelisation cost and complexity of
 distributed machine learning across multiple machines."
+
+Three execution backends schedule the same scoring work:
+
+- ``"thread"`` (default, the seed behaviour) — a thread pool; numpy
+  releases the GIL inside the SVD/BLAS kernels that dominate scoring of
+  large matrices.
+- ``"process"`` — a process pool; sidesteps the GIL entirely at the cost
+  of pickling each hypothesis's matrices across the boundary (the
+  reproduction's stand-in for the paper's JVM-to-Python gRPC hop).
+- ``"batch"`` — the vectorized planner of
+  :mod:`repro.engine_exec.batch`: hypotheses sharing (Y, Z) are grouped,
+  Y/Z-side work is done once per group, and the X-side linear algebra
+  runs as stacked numpy calls.  Fastest when hypotheses are many and
+  individually small — exactly the interactive Algorithm 1 workload —
+  and bitwise identical to the other backends by the
+  :class:`~repro.scoring.base.BatchScorer` contract.
+
+With ``n_workers=1`` (or a single hypothesis) every backend except
+``"batch"`` degenerates to the plain sequential loop.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Sequence
 
 import numpy as np
@@ -18,7 +38,11 @@ import numpy as np
 from repro.core.hypothesis import Hypothesis
 from repro.core.ranking import DEFAULT_TOP_K, ScoreTable, rank_families
 from repro.engine_exec.accounting import SerializationAccounting
+from repro.engine_exec.batch import execute_batches
 from repro.scoring.base import Scorer, get_scorer
+
+#: Recognised values for ``HypothesisExecutor(backend=...)``.
+BACKENDS = ("thread", "process", "batch")
 
 
 @dataclass
@@ -40,6 +64,7 @@ class ExecutionReport:
     wall_seconds: float
     n_workers: int
     accounting: SerializationAccounting | None = None
+    backend: str = "thread"
 
     def mean_seconds_per_family(self) -> float:
         """Figure 10's 'mean score time per feature family'."""
@@ -54,20 +79,49 @@ class ExecutionReport:
         return float(np.max([t.seconds for t in self.timings]))
 
 
+def _score_in_process(scorer: Scorer,
+                      hypothesis: Hypothesis) -> tuple[HypothesisTiming,
+                                                       float]:
+    """Process-pool worker: score one hypothesis, report its timings.
+
+    Module-level so it pickles; the scorer rides along in a
+    ``functools.partial``.  Returns the timing row plus the pure scoring
+    seconds for the parent's accounting.
+    """
+    start = time.perf_counter()
+    x, y, z = hypothesis.matrices()
+    score_start = time.perf_counter()
+    value = scorer.score(x, y, z)
+    score_elapsed = time.perf_counter() - score_start
+    timing = HypothesisTiming(
+        family=hypothesis.name,
+        score=float(value),
+        seconds=time.perf_counter() - start,
+        n_features=hypothesis.x.n_features,
+    )
+    return timing, score_elapsed
+
+
 class HypothesisExecutor:
-    """Schedules hypothesis scoring across a worker pool."""
+    """Schedules hypothesis scoring across a worker pool or batch planner."""
 
     def __init__(self, n_workers: int = 4,
-                 measure_serialization: bool = False) -> None:
+                 measure_serialization: bool = False,
+                 backend: str = "thread") -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self.n_workers = n_workers
         self.measure_serialization = measure_serialization
+        self.backend = backend
 
     def run(self, hypotheses: Sequence[Hypothesis],
             scorer: Scorer | str = "L2-P50",
             top_k: int = DEFAULT_TOP_K) -> ExecutionReport:
-        """Score all hypotheses in parallel and build the Score Table."""
+        """Score all hypotheses and build the Score Table."""
         if isinstance(scorer, str):
             scorer = get_scorer(scorer)
         accounting = (SerializationAccounting()
@@ -91,11 +145,37 @@ class HypothesisExecutor:
             )
 
         wall_start = time.perf_counter()
-        if self.n_workers == 1 or len(hypotheses) <= 1:
+        if self.backend == "batch":
+            scores, seconds = execute_batches(hypotheses, scorer,
+                                              accounting=accounting)
+            timings = [
+                HypothesisTiming(
+                    family=h.name,
+                    score=float(scores[i]),
+                    seconds=float(seconds[i]),
+                    n_features=h.x.n_features,
+                )
+                for i, h in enumerate(hypotheses)
+            ]
+        elif self.n_workers == 1 or len(hypotheses) <= 1:
             timings = [score_one(h) for h in hypotheses]
-        else:
+        elif self.backend == "thread":
             with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
                 timings = list(pool.map(score_one, hypotheses))
+        else:   # process
+            if accounting is not None:
+                # The round-trip is measured in the parent; restored
+                # arrays are bitwise equal so the children can score the
+                # originals they receive through pickling.
+                for hypothesis in hypotheses:
+                    accounting.round_trip(*hypothesis.matrices())
+            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                worker = partial(_score_in_process, scorer)
+                outcomes = list(pool.map(worker, hypotheses))
+            timings = [timing for timing, _ in outcomes]
+            if accounting is not None:
+                for _, score_elapsed in outcomes:
+                    accounting.record_score_time(score_elapsed)
         wall = time.perf_counter() - wall_start
 
         by_name = {t.family: t for t in timings}
@@ -113,4 +193,5 @@ class HypothesisExecutor:
             wall_seconds=wall,
             n_workers=self.n_workers,
             accounting=accounting,
+            backend=self.backend,
         )

@@ -19,7 +19,13 @@ distribution of r², Wherry's adjustment, Chebyshev p-values, and the
 Bonferroni / Benjamini-Hochberg multiple-testing corrections.
 """
 
-from repro.scoring.base import Scorer, get_scorer, list_scorers, register_scorer
+from repro.scoring.base import (
+    BatchScorer,
+    Scorer,
+    get_scorer,
+    list_scorers,
+    register_scorer,
+)
 from repro.scoring.univariate import CorrMaxScorer, CorrMeanScorer, correlation_matrix
 from repro.scoring.joint import L2Scorer, L1Scorer
 from repro.scoring.projection import ProjectedL2Scorer, random_projection
@@ -35,6 +41,7 @@ from repro.scoring.significance import (
 )
 
 __all__ = [
+    "BatchScorer",
     "Scorer",
     "get_scorer",
     "list_scorers",

@@ -4,12 +4,21 @@ Scorers are stateless callables with a ``score(x, y, z)`` method.  The
 registry maps the names used throughout the paper's evaluation
 (``CorrMean``, ``CorrMax``, ``L2``, ``L2-P50``, ``L2-P500``) to factory
 functions, so harness code can sweep scorers by name.
+
+Scorers that can amortise work across many hypotheses sharing the same
+``(Y, Z)`` pair additionally implement the :class:`BatchScorer` protocol:
+``score_batch(xs, y, z)`` scores a whole list of candidate ``X`` matrices
+in stacked ``numpy`` operations and must return exactly the scores the
+sequential ``score`` calls would (the batched execution backend relies on
+this for bitwise-identical Score Tables).  Scorers without a vectorized
+path simply don't implement the protocol; the backend falls back to the
+per-hypothesis loop for them.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -35,6 +44,64 @@ class Scorer(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class BatchScorer(abc.ABC):
+    """Mixin protocol: score many X hypotheses against one shared (Y, Z).
+
+    ``score_batch(xs, y, z)`` must be score-equivalent to
+    ``np.array([self.score(x, y, z) for x in xs])`` — not merely close,
+    but bitwise identical — so the batched execution backend can swap it
+    in without changing any Score Table.  Implementations share the
+    Y/Z-side work (validation, standardisation, residual projections,
+    fold statistics) across the batch and stack the X-side linear algebra
+    into 3-D gufunc calls, which numpy evaluates per slice with the same
+    kernels as the 2-D sequential path.
+    """
+
+    @abc.abstractmethod
+    def score_batch(self, xs: Sequence[np.ndarray], y: np.ndarray,
+                    z: np.ndarray | None = None) -> np.ndarray:
+        """Scores for every X in ``xs``, aligned with the input order."""
+
+
+def validate_batch(xs: Sequence[np.ndarray], y: np.ndarray,
+                   z: np.ndarray | None
+                   ) -> tuple[list[np.ndarray], np.ndarray,
+                              np.ndarray | None]:
+    """``validate_triple`` across a batch, validating shared (Y, Z) once.
+
+    Raises the same :class:`ScoringError` a per-hypothesis
+    ``validate_triple`` loop would, but scans Y and Z for NaN/inf once
+    per batch instead of once per hypothesis.
+    """
+    if not len(xs):
+        raise ScoringError("cannot validate an empty batch")
+    x0, y_v, z_v = validate_triple(xs[0], y, z)
+    validated = [x0]
+    for x in xs[1:]:
+        x_v = _as_matrix(x, "X")
+        if x_v.shape[0] != y_v.shape[0]:
+            raise ScoringError(
+                f"X has {x_v.shape[0]} rows but Y has {y_v.shape[0]}"
+            )
+        if x_v.shape[1] == 0:
+            raise ScoringError("X and Y must contain at least one metric each")
+        validated.append(x_v)
+    return validated, y_v, z_v
+
+
+def group_by_shape(matrices: Sequence[np.ndarray]) -> dict[tuple[int, ...],
+                                                           list[int]]:
+    """Indices of ``matrices`` grouped by shape, preserving input order.
+
+    Batch implementations stack same-shaped X matrices into one (H, T, F)
+    array; this helper produces the stacking plan.
+    """
+    groups: dict[tuple[int, ...], list[int]] = {}
+    for i, matrix in enumerate(matrices):
+        groups.setdefault(np.asarray(matrix).shape, []).append(i)
+    return groups
 
 
 def validate_triple(x: np.ndarray, y: np.ndarray,

@@ -8,6 +8,14 @@ non-empty Z the three-regression conditional procedure is used instead.
 ``L1Scorer`` is the Lasso variant the paper also experimented with; it is
 slower (no shared factorisation across the penalty path) but yields
 similar rankings, which the ablation benchmark confirms.
+
+``L2Scorer`` additionally implements the :class:`~repro.scoring.base.
+BatchScorer` protocol: ``score_batch`` standardises Y (and Z) once,
+residualises Y on Z once per group, and runs the per-fold design SVDs of
+the cross-validation as stacked 3-D operations over every same-shaped X
+in the batch — bitwise identical to the sequential path, hypothesis by
+hypothesis.  ``L1Scorer`` has no vectorized path (coordinate descent
+shares no factorisation) and falls back to per-hypothesis scoring.
 """
 
 from __future__ import annotations
@@ -16,16 +24,29 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.linmodel.batched import (
+    as_stack,
+    batched_cross_val_r2,
+    batched_residualize,
+    batched_standardize,
+)
 from repro.linmodel.lasso import Lasso
 from repro.linmodel.crossval import TimeSeriesKFold
 from repro.linmodel.model_selection import cross_val_r2
 from repro.linmodel.preprocessing import StandardScaler
 from repro.linmodel.ridge import DEFAULT_ALPHAS
-from repro.scoring.base import Scorer, register_scorer, validate_triple
-from repro.scoring.conditional import conditional_score
+from repro.scoring.base import (
+    BatchScorer,
+    Scorer,
+    group_by_shape,
+    register_scorer,
+    validate_batch,
+    validate_triple,
+)
+from repro.scoring.conditional import RESIDUAL_ALPHA, conditional_score
 
 
-class L2Scorer(Scorer):
+class L2Scorer(Scorer, BatchScorer):
     """Joint ridge-regression scoring (grid-searched, cross-validated)."""
 
     name = "L2"
@@ -50,6 +71,34 @@ class L2Scorer(Scorer):
         result = cross_val_r2(x, y, alphas=self.alphas,
                               n_splits=self.n_splits)
         return float(np.clip(result.best_score, 0.0, 1.0))
+
+    def score_batch(self, xs: Sequence[np.ndarray], y: np.ndarray,
+                    z: np.ndarray | None = None) -> np.ndarray:
+        """Vectorized scoring of many X against one shared (Y, Z)."""
+        out = np.empty(len(xs))
+        if not len(xs):
+            return out
+        validated, y_v, z_v = validate_batch(xs, y, z)
+        if self.standardize:
+            y_v = StandardScaler().fit_transform(y_v)
+            if z_v is not None:
+                z_v = StandardScaler().fit_transform(z_v)
+        r_y = (batched_residualize(y_v[None], z_v, RESIDUAL_ALPHA)[0]
+               if z_v is not None else None)
+        for _, indices in group_by_shape(validated).items():
+            stack = as_stack([validated[i] for i in indices])
+            if self.standardize:
+                stack = batched_standardize(stack)
+            if z_v is not None:
+                stack = batched_residualize(stack, z_v, RESIDUAL_ALPHA)
+                results = batched_cross_val_r2(stack, r_y, alphas=self.alphas,
+                                               n_splits=self.n_splits)
+            else:
+                results = batched_cross_val_r2(stack, y_v, alphas=self.alphas,
+                                               n_splits=self.n_splits)
+            for i, result in zip(indices, results):
+                out[i] = float(np.clip(result.best_score, 0.0, 1.0))
+        return out
 
 
 class L1Scorer(Scorer):

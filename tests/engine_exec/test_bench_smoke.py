@@ -1,0 +1,55 @@
+"""Smoke test: the Figure 10 backend benchmark emits well-formed rows.
+
+Loads ``benchmarks/bench_figure10_score_time.py`` by path (the benchmark
+tree is not an importable package) and runs its backend comparison on a
+tiny workload, checking that both the legacy thread backend and the
+batched backend produce complete, sane timing rows.
+"""
+
+import importlib.util
+import math
+import pathlib
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parents[2]
+              / "benchmarks" / "bench_figure10_score_time.py")
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_figure10_score_time_smoke", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_backend_rows_well_formed():
+    bench = _load_bench_module()
+    hypotheses = bench.synthetic_hypotheses(n_families=8, n_samples=60)
+    rows = bench.backend_timing_rows(hypotheses, scorer="L2",
+                                     backends=("thread", "batch"),
+                                     n_workers=2)
+    assert [row["backend"] for row in rows] == ["thread", "batch"]
+    for row in rows:
+        assert set(row) == set(bench.BACKEND_ROW_FIELDS)
+        assert row["scorer"] == "L2"
+        assert row["n_hypotheses"] == 8
+        assert row["n_workers"] == 2
+        for key in ("wall_seconds", "mean_seconds_per_family",
+                    "max_seconds_per_family"):
+            assert isinstance(row[key], float)
+            assert math.isfinite(row[key])
+            assert row[key] > 0.0
+        assert (row["max_seconds_per_family"]
+                >= row["mean_seconds_per_family"])
+    rendered = bench.format_backend_rows(rows)
+    assert "thread" in rendered and "batch" in rendered
+
+
+def test_synthetic_workload_shape():
+    bench = _load_bench_module()
+    hypotheses = bench.synthetic_hypotheses(n_families=5, n_samples=40,
+                                            n_features=2)
+    assert len(hypotheses) == 5
+    assert all(h.y.name == "target" for h in hypotheses)
+    assert all(h.x.n_features == 2 for h in hypotheses)
+    assert all(h.y is hypotheses[0].y for h in hypotheses)

@@ -1,0 +1,1 @@
+"""Test package marker: gives test modules unique import names."""
