@@ -12,6 +12,12 @@ and scores each group in stacked numpy calls.  The interactive budget of
 Figure 10 is exactly what batching buys back: on 500+ hypotheses the
 batch backend must be at least 2x faster than the seed thread backend
 while producing a bitwise-identical Score Table.
+
+The transfer comparison reruns the §6.2 serialisation measurement under
+the process backend's two matrix transfers: ``pickle`` pays a real
+dumps/loads per hypothesis, ``shm`` copies each batch group into shared
+memory once and ships zero-copy handles.  On 500 hypotheses the shm
+serialisation share must be at least 2x below the pickle share.
 """
 
 import numpy as np
@@ -27,7 +33,12 @@ SCORERS = ("CorrMean", "CorrMax", "L2", "L2-P50", "L2-P500")
 #: Columns of one backend timing row; the smoke test checks this schema.
 BACKEND_ROW_FIELDS = ("backend", "scorer", "n_hypotheses", "n_workers",
                       "wall_seconds", "mean_seconds_per_family",
-                      "max_seconds_per_family")
+                      "max_seconds_per_family", "share_attributed")
+
+#: Columns of one transfer overhead row; the smoke test checks this too.
+TRANSFER_ROW_FIELDS = ("transfer", "scorer", "n_hypotheses", "n_workers",
+                       "bytes_moved", "serialize_seconds", "score_seconds",
+                       "serialization_share")
 
 
 def synthetic_hypotheses(n_families: int = 500, n_samples: int = 150,
@@ -49,11 +60,19 @@ def synthetic_hypotheses(n_families: int = 500, n_samples: int = 150,
 
 def backend_timing_rows(hypotheses, scorer="L2",
                         backends=("thread", "batch"),
-                        n_workers: int = 4) -> list[dict]:
-    """One timing row per backend for the same hypothesis workload."""
+                        n_workers: int = 4,
+                        transfer: str = "shm") -> list[dict]:
+    """One timing row per backend for the same hypothesis workload.
+
+    ``share_attributed`` marks rows whose per-family times are equal
+    shares of a stacked call (the batch backend) rather than individual
+    measurements — their max/fam collapses toward the mean and should
+    not be read as a true per-family max.
+    """
     rows = []
     for backend in backends:
-        executor = HypothesisExecutor(n_workers=n_workers, backend=backend)
+        executor = HypothesisExecutor(n_workers=n_workers, backend=backend,
+                                      transfer=transfer)
         report = executor.run(hypotheses, scorer=scorer)
         rows.append({
             "backend": backend,
@@ -63,21 +82,68 @@ def backend_timing_rows(hypotheses, scorer="L2",
             "wall_seconds": report.wall_seconds,
             "mean_seconds_per_family": report.mean_seconds_per_family(),
             "max_seconds_per_family": report.max_seconds_per_family(),
+            "share_attributed": report.has_attributed_timings(),
         })
     return rows
 
 
 def format_backend_rows(rows) -> str:
     header = (f"{'Backend':<10}{'Scorer':<10}{'#Hyp':>7}{'Workers':>9}"
-              f"{'wall(s)':>10}{'mean/fam':>12}{'max/fam':>12}")
+              f"{'wall(s)':>10}{'mean/fam':>12}{'max/fam':>12}  note")
     lines = [header, "-" * len(header)]
     for row in rows:
+        note = "attributed" if row["share_attributed"] else "measured"
         lines.append(
             f"{row['backend']:<10}{row['scorer']:<10}"
             f"{row['n_hypotheses']:>7}{row['n_workers']:>9}"
             f"{row['wall_seconds']:>10.4f}"
             f"{row['mean_seconds_per_family']:>12.6f}"
-            f"{row['max_seconds_per_family']:>12.6f}"
+            f"{row['max_seconds_per_family']:>12.6f}  {note}"
+        )
+    return "\n".join(lines)
+
+
+def serialization_overhead_rows(hypotheses, scorer="CorrMax",
+                                transfers=("pickle", "shm"),
+                                n_workers: int = 4) -> list[dict]:
+    """§6.2 reproduced per transfer mode: one accounting row each."""
+    if n_workers < 2:
+        # With one worker the executor degenerates to the sequential
+        # loop and neither transfer mechanism runs; the comparison
+        # would measure nothing.
+        raise ValueError("transfer comparison needs n_workers >= 2")
+    rows = []
+    for transfer in transfers:
+        executor = HypothesisExecutor(n_workers=n_workers,
+                                      backend="process", transfer=transfer,
+                                      measure_serialization=True)
+        report = executor.run(hypotheses, scorer=scorer)
+        summary = report.accounting.summary()
+        rows.append({
+            "transfer": transfer,
+            "scorer": report.score_table.scorer_name,
+            "n_hypotheses": len(hypotheses),
+            "n_workers": n_workers,
+            "bytes_moved": summary["bytes_moved"],
+            "serialize_seconds": summary["serialize_seconds"],
+            "score_seconds": summary["score_seconds"],
+            "serialization_share": summary["serialization_share"],
+        })
+    return rows
+
+
+def format_transfer_rows(rows) -> str:
+    header = (f"{'Transfer':<10}{'Scorer':<10}{'#Hyp':>7}{'Workers':>9}"
+              f"{'MB moved':>10}{'ser(s)':>10}{'score(s)':>10}{'share':>8}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['transfer']:<10}{row['scorer']:<10}"
+            f"{row['n_hypotheses']:>7}{row['n_workers']:>9}"
+            f"{row['bytes_moved'] / 1e6:>10.2f}"
+            f"{row['serialize_seconds']:>10.4f}"
+            f"{row['score_seconds']:>10.4f}"
+            f"{row['serialization_share']:>8.3f}"
         )
     return "\n".join(lines)
 
@@ -99,6 +165,26 @@ def test_batched_backend_speedup():
                / by_backend["batch"]["wall_seconds"])
     print(f"batch speedup over thread: {speedup:.1f}x")
     assert speedup >= 2.0
+
+
+def test_shm_transfer_cuts_serialization_share():
+    """§6.2 fixed: shm share is >=2x below pickle on 500 hypotheses."""
+    hypotheses = synthetic_hypotheses(n_families=500)
+    # Warm up the process pool machinery so neither mode pays fork costs.
+    serialization_overhead_rows(hypotheses[:8], n_workers=2)
+    rows = serialization_overhead_rows(hypotheses)
+    print()
+    print("=" * 76)
+    print("Figure 12/13 companion — transfer overhead on 500 hypotheses")
+    print("=" * 76)
+    print(format_transfer_rows(rows))
+    by_transfer = {row["transfer"]: row for row in rows}
+    ratio = (by_transfer["pickle"]["serialization_share"]
+             / by_transfer["shm"]["serialization_share"])
+    print(f"pickle/shm serialization-share ratio: {ratio:.1f}x")
+    assert by_transfer["shm"]["bytes_moved"] \
+        < by_transfer["pickle"]["bytes_moved"]
+    assert ratio >= 2.0
 
 
 @pytest.fixture(scope="module")

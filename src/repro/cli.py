@@ -4,6 +4,9 @@ Usage (after installation)::
 
     python -m repro.cli scenarios                  # list built-in scenarios
     python -m repro.cli explain 5.1 --scorer L2    # rank one case study
+    python -m repro.cli explain 5.1 --backend process --transfer shm
+                                                   # zero-copy process pool
+    python -m repro.cli explain 5.3 --lags 0 1 2   # lag-augmented scoring
     python -m repro.cli table6 --scale 0.5         # the §6.1 evaluation
     python -m repro.cli scorers                    # registered scorers
     python -m repro.cli sql 5.1 "SELECT ... "      # ad-hoc SQL on a scenario
@@ -18,9 +21,13 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
+from repro.engine_exec.accounting import TRANSFERS
 from repro.engine_exec.executor import BACKENDS
 from repro.scoring.base import list_scorers
 from repro.workloads import scenarios as scenario_module
+
+#: Worker count used when ``--workers`` is not given.
+DEFAULT_WORKERS = 4
 
 SCENARIOS: dict[str, Callable] = {
     "5.1": scenario_module.fault_injection_scenario,
@@ -29,6 +36,28 @@ SCENARIOS: dict[str, Callable] = {
     "5.4": scenario_module.weekly_raid_scenario,
     "fig14": scenario_module.sawtooth_temperature_scenario,
 }
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for options that need a count >= 1."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {value!r}")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _non_negative_int(value: str) -> int:
+    """argparse type for options that need a count >= 0 (lags)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {value!r}")
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,8 +83,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="execution backend (default: in-line "
                               "sequential; 'batch' vectorizes across "
                               "hypotheses)")
-    explain.add_argument("--workers", type=int, default=4,
-                         help="worker count for thread/process backends")
+    explain.add_argument("--workers", type=_positive_int, default=None,
+                         help="worker count for the thread/process "
+                              f"backends (default {DEFAULT_WORKERS}; "
+                              "ignored by the others)")
+    explain.add_argument("--transfer", default=None,
+                         choices=list(TRANSFERS),
+                         help="matrix transfer for --backend process: "
+                              "'shm' ships each batch group once "
+                              "through zero-copy shared memory "
+                              "(default), 'pickle' serialises every "
+                              "hypothesis (the paper's §6.2 overhead)")
+    explain.add_argument("--lags", type=_non_negative_int, nargs="+",
+                         default=None, metavar="LAG",
+                         help="augment X (and Z) with these lags before "
+                              "scoring, e.g. --lags 0 1 2 (detects "
+                              "delayed effects; wraps the --scorer)")
 
     table6 = sub.add_parser("table6", help="run the §6.1 evaluation")
     table6.add_argument("--scale", type=float, default=1.0)
@@ -89,14 +132,58 @@ def cmd_scorers(_args: argparse.Namespace) -> int:
     return 0
 
 
+def resolve_exec_args(backend: str | None,
+                      workers: int | None,
+                      transfer: str | None
+                      ) -> tuple[int, str, list[str]]:
+    """Resolve executor options, warning about ignored combinations.
+
+    The argparse layer already rejects unknown ``--backend`` /
+    ``--transfer`` values; this resolves the cross-argument cases that
+    argparse cannot express — options that are valid on their own but
+    silently unused under the selected backend — into explicit warnings
+    instead of silent no-ops.  Returns ``(n_workers, transfer,
+    warnings)``.
+    """
+    warnings: list[str] = []
+    if workers is not None:
+        if backend is None:
+            warnings.append(
+                "--workers is ignored without --backend "
+                "(the default execution is the in-line sequential loop)")
+        elif backend == "batch":
+            warnings.append(
+                "--workers is ignored by --backend batch "
+                "(the batch planner runs stacked numpy calls, not a pool)")
+        elif workers < 1:
+            raise ValueError(f"--workers must be >= 1, got {workers}")
+    if transfer is not None and backend != "process":
+        target = "--backend None" if backend is None else f"--backend {backend}"
+        warnings.append(
+            f"--transfer is only used by --backend process; "
+            f"ignored with {target}")
+    return (workers if workers is not None else DEFAULT_WORKERS,
+            transfer if transfer is not None else "shm",
+            warnings)
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
+    n_workers, transfer, warnings = resolve_exec_args(
+        args.backend, args.workers, args.transfer)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    scorer = args.scorer
+    if args.lags is not None:
+        from repro.scoring import LaggedScorer, get_scorer
+        scorer = LaggedScorer(lags=args.lags, inner=get_scorer(args.scorer))
     scenario = SCENARIOS[args.scenario](seed=args.seed)
     session = scenario.session()
     if args.condition is not None:
         session.set_condition(None if args.condition.lower() == "none"
                               else args.condition)
-    table = session.explain(scorer=args.scorer, top_k=args.top,
-                            backend=args.backend, n_workers=args.workers)
+    table = session.explain(scorer=scorer, top_k=args.top,
+                            backend=args.backend, n_workers=n_workers,
+                            transfer=transfer)
     print(f"Scenario: {scenario.name} — {scenario.description}")
     print(f"Ground-truth causes: {sorted(scenario.causes)}")
     print()

@@ -27,6 +27,7 @@ from repro.core.families import (
 from repro.core.hypothesis import generate_hypotheses
 from repro.core.pseudocause import pseudocauses
 from repro.core.ranking import DEFAULT_TOP_K, ScoreTable, rank_families
+from repro.scoring.base import Scorer
 from repro.sql.catalog import Database
 from repro.tsdb.adapter import register_store
 from repro.tsdb.storage import TimeSeriesStore
@@ -123,17 +124,21 @@ class ExplainItSession:
     # ------------------------------------------------------------------
     # Step 3: ranking
     # ------------------------------------------------------------------
-    def explain(self, scorer: str = "L2-P50",
+    def explain(self, scorer: str | Scorer = "L2-P50",
                 search: Iterable[str] | None = None,
                 exclude: Iterable[str] = (),
                 top_k: int = DEFAULT_TOP_K,
                 backend: str | None = None,
-                n_workers: int = 4) -> ScoreTable:
+                n_workers: int = 4,
+                transfer: str = "shm") -> ScoreTable:
         """Run one iteration of Algorithm 1 and return the Score Table.
 
         ``backend`` picks the execution backend ("thread", "process" or
-        "batch"); ``None`` keeps the in-line sequential loop.  The
-        ranking is identical either way — "batch" shares the target/
+        "batch"); ``None`` keeps the in-line sequential loop.
+        ``transfer`` selects the process backend's matrix transfer
+        ("shm" for zero-copy shared memory, "pickle" for per-hypothesis
+        serialisation); other backends ignore it.  The ranking is
+        identical either way — "batch" shares the target/
         condition-side work across all candidate families and is the
         fast choice for interactive sessions.
         """
@@ -145,19 +150,22 @@ class ExplainItSession:
             search=search, exclude=exclude,
         )
         table = rank_families(hypotheses, scorer=scorer, top_k=top_k,
-                              backend=backend, n_workers=n_workers)
+                              backend=backend, n_workers=n_workers,
+                              transfer=transfer)
         self.db.register("score", table.to_table())
         self.history.append(table)
         return table
 
     def drill_down(self, families: Sequence[str],
-                   scorer: str = "L2-P50",
+                   scorer: str | Scorer = "L2-P50",
                    top_k: int = DEFAULT_TOP_K,
                    backend: str | None = None,
-                   n_workers: int = 4) -> ScoreTable:
+                   n_workers: int = 4,
+                   transfer: str = "shm") -> ScoreTable:
         """Re-rank within a narrowed search space (the §5.4 workflow)."""
         return self.explain(scorer=scorer, search=families, top_k=top_k,
-                            backend=backend, n_workers=n_workers)
+                            backend=backend, n_workers=n_workers,
+                            transfer=transfer)
 
     def suggest_event_window(self, window: int = 30,
                              threshold: float = 4.0):

@@ -111,7 +111,8 @@ def rank_families(hypotheses: Sequence[Hypothesis],
                   top_k: int = DEFAULT_TOP_K,
                   score_fn: Callable[[Hypothesis], float] | None = None,
                   backend: str | None = None,
-                  n_workers: int = 4) -> ScoreTable:
+                  n_workers: int = 4,
+                  transfer: str = "shm") -> ScoreTable:
     """Score every hypothesis and produce the ranked Score Table.
 
     ``score_fn`` overrides the scorer for callers that wrap scoring with
@@ -120,7 +121,10 @@ def rank_families(hypotheses: Sequence[Hypothesis],
     ``backend`` selects an execution backend ("thread", "process" or
     "batch") and delegates scoring to the
     :class:`~repro.engine_exec.executor.HypothesisExecutor`; ``None``
-    (the default) keeps the in-line sequential loop.  Every backend
+    (the default) keeps the in-line sequential loop.  ``transfer``
+    picks the process backend's matrix transfer ("shm" for zero-copy
+    shared memory, "pickle" for per-hypothesis serialisation) and is
+    ignored by the other backends.  Every backend and transfer mode
     produces an identical ranking — "batch" shares Y/Z-side work across
     hypotheses and is the fast choice for interactive sessions.
     """
@@ -128,7 +132,8 @@ def rank_families(hypotheses: Sequence[Hypothesis],
         if score_fn is not None:
             raise ValueError("pass either score_fn or backend, not both")
         from repro.engine_exec.executor import HypothesisExecutor
-        executor = HypothesisExecutor(n_workers=n_workers, backend=backend)
+        executor = HypothesisExecutor(n_workers=n_workers, backend=backend,
+                                      transfer=transfer)
         return executor.run(hypotheses, scorer=scorer, top_k=top_k).score_table
     if isinstance(scorer, str):
         scorer = get_scorer(scorer)

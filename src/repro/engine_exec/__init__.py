@@ -9,8 +9,10 @@ hypothesis* — behind a ``backend=`` switch:
   hypotheses across workers, records per-hypothesis wall time.
   ``backend="thread"`` (default) uses a thread pool (numpy releases the
   GIL inside the SVD/BLAS kernels that dominate scoring of large
-  matrices); ``backend="process"`` uses a process pool and pickles the
-  matrices across the boundary; ``backend="batch"`` dispatches to the
+  matrices); ``backend="process"`` uses a process pool whose matrix
+  transfer is selected by ``transfer=`` — ``"shm"`` (default) for
+  zero-copy shared-memory segments, ``"pickle"`` for the faithful §6.2
+  per-hypothesis serialisation; ``backend="batch"`` dispatches to the
   vectorized group planner below.
 - :mod:`repro.engine_exec.batch` — the batched execution subsystem:
   :func:`~repro.engine_exec.batch.plan_batches` groups hypotheses by
@@ -20,17 +22,22 @@ hypothesis* — behind a ``backend=`` switch:
   :class:`~repro.scoring.base.BatchScorer` protocol, falling back to the
   per-hypothesis loop for scorers without a vectorized path.  Scores are
   bitwise identical to the sequential path.
+- :mod:`repro.engine_exec.shm` — the zero-copy transfer tier:
+  :class:`~repro.engine_exec.shm.SharedMatrixPool` places each batch
+  group's (Y, Z, stacked X) matrices into one
+  ``multiprocessing.shared_memory`` segment; workers attach by name and
+  score read-only views without copying.
 - :class:`~repro.engine_exec.accounting.SerializationAccounting` —
-  measures the matrix (de)serialisation share of scoring time, the §6.2
-  instrumentation that found ~25% overhead for univariate scorers and
-  ~5% for joint scorers.
+  measures the matrix transfer share of scoring time under each
+  ``transfer`` mode, the §6.2 instrumentation that found ~25% overhead
+  for univariate scorers and ~5% for joint scorers.
 - Broadcast-join hypothesis construction lives in
   :func:`repro.core.hypothesis.generate_hypotheses`: Y and Z are built
   once and shared (not copied) across every X hypothesis — which is
   exactly the structure ``plan_batches`` recovers by identity grouping.
 """
 
-from repro.engine_exec.accounting import SerializationAccounting
+from repro.engine_exec.accounting import TRANSFERS, SerializationAccounting
 from repro.engine_exec.batch import (
     HypothesisBatch,
     execute_batches,
@@ -41,13 +48,17 @@ from repro.engine_exec.executor import (
     ExecutionReport,
     HypothesisExecutor,
 )
+from repro.engine_exec.shm import MatrixRef, SharedMatrixPool
 
 __all__ = [
     "BACKENDS",
+    "TRANSFERS",
     "HypothesisExecutor",
     "ExecutionReport",
     "SerializationAccounting",
     "HypothesisBatch",
     "plan_batches",
     "execute_batches",
+    "MatrixRef",
+    "SharedMatrixPool",
 ]

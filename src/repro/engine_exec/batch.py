@@ -17,15 +17,16 @@ execution path:
    :class:`~repro.scoring.base.BatchScorer` protocol — one stacked
    numpy call per group instead of one Python call per hypothesis —
    and falls back to the per-hypothesis loop for scorers without a
-   vectorized path (L1, PCA-truncated L2, custom scorers).
+   vectorized path (L1, custom scorers).
 
 Scores are bitwise identical to the sequential path by the
 ``BatchScorer`` contract, so the resulting Score Table matches the
 ``thread``/``process`` backends exactly (ranks, scores, p-values).
 Per-hypothesis wall times are not individually observable inside a
 stacked call; each hypothesis in a group is attributed an equal share
-of the group's elapsed time, keeping Figure 10-style aggregates
-meaningful.
+of the group's elapsed time, and the returned ``attributed`` flags mark
+exactly those rows so aggregate consumers (Figure 10's max-per-family,
+the bench harness) can distinguish measured from attributed times.
 """
 
 from __future__ import annotations
@@ -40,6 +41,12 @@ from repro.core.families import FeatureFamily
 from repro.core.hypothesis import Hypothesis
 from repro.engine_exec.accounting import SerializationAccounting
 from repro.scoring.base import BatchScorer, Scorer
+
+#: Stands in for ``z=None`` in grouping keys.  A dedicated module-level
+#: object (always alive, so its id() can never be recycled) rather than
+#: a literal like ``0`` that could in principle collide with another
+#: key component.
+_NO_CONDITION = object()
 
 
 @dataclass
@@ -63,15 +70,28 @@ def plan_batches(hypotheses: Sequence[Hypothesis]) -> list[HypothesisBatch]:
     share the very same Y (and Z) family objects, so one ``explain()``
     iteration collapses into a single batch.  Hypotheses with equal but
     distinct Y/Z objects simply land in separate (still correct) groups.
+
+    ``id()`` values are only unique among *live* objects, so every keyed
+    object must stay alive until planning completes: if families are
+    created lazily and an earlier key object were garbage-collected
+    mid-stream, CPython could hand its address to a fresh family and
+    silently merge hypotheses from different (Y, Z) groups.  Binding
+    ``y``/``z`` to locals before taking their ids (so ``id()`` is never
+    taken of a dying temporary when ``.y``/``.z`` are computed
+    properties) and storing exactly those objects in the batch — which
+    ``groups`` holds for the whole loop, with the immortal
+    ``_NO_CONDITION`` sentinel standing in for ``z=None`` — guarantees
+    every keyed address stays pinned.
     """
     groups: dict[tuple[int, int], HypothesisBatch] = {}
     for i, hypothesis in enumerate(hypotheses):
-        key = (id(hypothesis.y),
-               id(hypothesis.z) if hypothesis.z is not None else 0)
+        y = hypothesis.y
+        z = hypothesis.z
+        key = (id(y), id(z) if z is not None else id(_NO_CONDITION))
         batch = groups.get(key)
         if batch is None:
             groups[key] = batch = HypothesisBatch(
-                y=hypothesis.y, z=hypothesis.z, indices=[], hypotheses=[])
+                y=y, z=z, indices=[], hypotheses=[])
         batch.indices.append(i)
         batch.hypotheses.append(hypothesis)
     return list(groups.values())
@@ -79,16 +99,20 @@ def plan_batches(hypotheses: Sequence[Hypothesis]) -> list[HypothesisBatch]:
 
 def execute_batches(hypotheses: Sequence[Hypothesis], scorer: Scorer,
                     accounting: SerializationAccounting | None = None
-                    ) -> tuple[np.ndarray, np.ndarray]:
-    """Score all hypotheses group-wise; returns (scores, seconds) arrays.
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Score all hypotheses group-wise.
 
-    Both arrays align with the input order.  ``accounting`` performs the
-    same per-hypothesis serialisation round-trip as the sequential path
+    Returns ``(scores, seconds, attributed)`` arrays aligned with the
+    input order; ``attributed[i]`` is True when ``seconds[i]`` is an
+    equal share of a stacked call's elapsed time rather than an
+    individually measured wall time.  ``accounting`` performs the same
+    per-hypothesis serialisation round-trip as the sequential path
     (restored arrays are bitwise equal, so scores are unaffected).
     """
     n = len(hypotheses)
     scores = np.empty(n)
     seconds = np.empty(n)
+    attributed = np.zeros(n, dtype=bool)
     for batch in plan_batches(hypotheses):
         y = batch.y.matrix
         z = batch.z.matrix if batch.z is not None else None
@@ -105,6 +129,7 @@ def execute_batches(hypotheses: Sequence[Hypothesis], scorer: Scorer,
             for i, value in zip(batch.indices, values):
                 scores[i] = float(value)
                 seconds[i] = share
+                attributed[i] = batch.size > 1
         else:
             for i, x in zip(batch.indices, xs):
                 start = time.perf_counter()
@@ -113,4 +138,4 @@ def execute_batches(hypotheses: Sequence[Hypothesis], scorer: Scorer,
                 if accounting is not None:
                     accounting.record_score_time(elapsed)
                 seconds[i] = elapsed
-    return scores, seconds
+    return scores, seconds, attributed

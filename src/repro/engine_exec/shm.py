@@ -1,0 +1,182 @@
+"""Zero-copy matrix transfer for the process backend (§6.2).
+
+The paper attributes the dominant overhead of process-parallel scoring
+to matrix (de)serialisation across the JVM-to-Python gRPC boundary; the
+reproduction's ``backend="process"`` + ``transfer="pickle"`` path
+reproduces that overhead faithfully by pickling the full (X, Y, Z)
+matrices of every hypothesis into each worker.  This module is the
+fix: ``transfer="shm"`` places each batch group's matrices into one
+:mod:`multiprocessing.shared_memory` segment *once* — Y and Z once per
+group, the candidate X blocks packed behind them — and ships only tiny
+:class:`MatrixRef` handles through the pool.  Workers attach to the
+segment by name and reconstruct numpy views without copying, so the
+per-hypothesis transfer cost collapses to a few hundred bytes of
+control plane.
+
+Bitwise parity: matrices are written into shared memory as C-order
+``float64`` — exactly the canonical layout the pickle path restores —
+so scorers see bit-identical operands and the Score Table matches
+``transfer="pickle"`` exactly.  Workers must treat the attached views
+as read-only (every scorer in :mod:`repro.scoring` already copies
+before mutating); the pool owns the segments and unlinks them in
+:meth:`SharedMatrixPool.close`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.engine_exec.accounting import SerializationAccounting
+
+
+@dataclass(frozen=True)
+class MatrixRef:
+    """Locate one float64 matrix inside a named shared-memory segment.
+
+    The handle is a few dozen bytes however large the matrix is; it is
+    what actually crosses the process boundary under ``transfer="shm"``.
+    """
+
+    segment: str                  # SharedMemory name
+    offset: int                   # byte offset of the first element
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * 8
+
+    def resolve(self, segment: shared_memory.SharedMemory) -> np.ndarray:
+        """A zero-copy ndarray view of this matrix inside ``segment``."""
+        return np.ndarray(self.shape, dtype=np.float64,
+                          buffer=segment.buf, offset=self.offset)
+
+
+class SharedMatrixPool:
+    """Owns the shared-memory segments of one execution run.
+
+    ``share_group`` packs a batch group's matrices — Y, Z and the
+    stacked X blocks — into a single segment and returns their refs;
+    ``close`` releases and unlinks every segment.  The pool keeps strong
+    references to the segments (and, through the refs, their layout),
+    so names stay valid for exactly as long as the run needs them.
+    """
+
+    def __init__(self,
+                 accounting: SerializationAccounting | None = None) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._accounting = accounting
+        self._closed = False
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    def share_group(self, matrices: list[np.ndarray]
+                    ) -> list[MatrixRef]:
+        """Copy a batch group's matrices into one fresh segment.
+
+        Returns one :class:`MatrixRef` per input matrix, in order.  The
+        copy-in is the *entire* transfer cost of the group — it is timed
+        and byte-counted against the accounting's serialize side, the
+        worker-side attach being free.
+        """
+        if self._closed:
+            raise RuntimeError("SharedMatrixPool is closed")
+        if not matrices:
+            return []
+        # The timer covers the whole transfer: canonicalisation, the
+        # shm_open/mmap of the segment and the copy-in — the same scope
+        # pickle_round_trip times for the competing mechanism.
+        start = time.perf_counter()
+        canonical = [np.ascontiguousarray(m, dtype=np.float64)
+                     for m in matrices]
+        total = sum(m.nbytes for m in canonical)
+        segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        self._segments.append(segment)
+        refs: list[MatrixRef] = []
+        offset = 0
+        for matrix in canonical:
+            ref = MatrixRef(segment=segment.name, offset=offset,
+                            shape=matrix.shape)
+            ref.resolve(segment)[...] = matrix
+            refs.append(ref)
+            offset += matrix.nbytes
+        if self._accounting is not None:
+            self._accounting.record_shared_copy(
+                time.perf_counter() - start, total)
+        return refs
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass        # already unlinked (e.g. by a resource tracker)
+        self._segments.clear()
+
+    def __enter__(self) -> "SharedMatrixPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process cache of attached segments: workers are reused across the
+#: pool's map, so each segment is attached (mmap'd) at most once per
+#: worker however many hypotheses reference it.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a named segment, cached for the life of this process.
+
+    Attaching must not register the segment with a resource tracker: the
+    parent owns the segment and unlinks it after the run, and a second
+    tracked owner either leaks the name (fork: workers share the
+    parent's tracker) or destroys the segment when the worker exits
+    (spawn: the worker's own tracker unlinks it) — bpo-38119.  Python
+    3.13+ has ``track=False`` for exactly this; on older versions the
+    registration call is suppressed for the duration of the attach.
+    """
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=False,
+                                                 track=False)
+        except TypeError:       # Python < 3.13: no track parameter
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                segment = shared_memory.SharedMemory(name=name, create=False)
+            finally:
+                resource_tracker.register = original_register
+        _ATTACHED[name] = segment
+    return segment
+
+
+def resolve_ref(ref: MatrixRef | None) -> np.ndarray | None:
+    """Materialise a :class:`MatrixRef` as a read-only zero-copy view."""
+    if ref is None:
+        return None
+    view = ref.resolve(attach_segment(ref.segment))
+    view.flags.writeable = False
+    return view

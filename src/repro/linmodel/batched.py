@@ -16,6 +16,10 @@ hypothesis.  The kernels here are the building blocks:
   ``H`` design matrices against one shared ``Y``; fold boundaries, the
   TSS baseline and ``Y``-side fold statistics are computed once per group
   and the per-hypothesis SVDs/GEMMs run as stacked 3-D gufunc calls.
+- :func:`batched_pca_truncate` — the PCA truncation of
+  :class:`~repro.scoring.projection.PcaL2Scorer` over a ``(H, T, F)``
+  stack as one stacked SVD; per-X truncation is independent, so the
+  stacked call is bitwise equal to the per-hypothesis loop.
 
 Bitwise parity
 --------------
@@ -84,6 +88,24 @@ def batched_residualize(targets: np.ndarray, z: np.ndarray,
                           for h in range(n_stack)])
     pred = z @ coef + intercept[:, None, :]
     return targets - pred
+
+
+def batched_pca_truncate(stack: np.ndarray, d: int) -> np.ndarray:
+    """Top-``d`` PCA scores of every slice of a (H, T, F) stack.
+
+    Per-slice bitwise equal to the sequential truncation
+    ``u[:, :d] * s[:d]`` of the SVD of the column-centred matrix: the
+    stacked ``gesdd`` sees each contiguous slice with exactly the
+    operand shapes of the 2-D call, and the trailing elementwise scale
+    preserves per-element evaluation.  Output shape is
+    ``(H, T, min(d, rank))`` where ``rank = min(T, F)``.
+    """
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 3:
+        raise ValueError(f"expected a (H, T, F) stack, got {stack.shape}")
+    centred = stack - stack.mean(axis=1)[:, None, :]
+    u, s, _ = np.linalg.svd(centred, full_matrices=False)
+    return u[:, :, :d] * s[:, None, :d]
 
 
 def batched_cross_val_r2(x_stack: np.ndarray, y: np.ndarray,

@@ -28,7 +28,11 @@ from repro.scoring.base import (
 )
 from repro.scoring.univariate import CorrMaxScorer, CorrMeanScorer, correlation_matrix
 from repro.scoring.joint import L2Scorer, L1Scorer
-from repro.scoring.projection import ProjectedL2Scorer, random_projection
+from repro.scoring.projection import (
+    PcaL2Scorer,
+    ProjectedL2Scorer,
+    random_projection,
+)
 from repro.scoring.conditional import conditional_score, residualize
 from repro.scoring.lagged import LaggedScorer, best_lag, lag_matrix
 from repro.scoring.significance import (
@@ -51,6 +55,7 @@ __all__ = [
     "correlation_matrix",
     "L2Scorer",
     "L1Scorer",
+    "PcaL2Scorer",
     "ProjectedL2Scorer",
     "random_projection",
     "conditional_score",

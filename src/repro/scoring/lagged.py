@@ -6,6 +6,12 @@ implemented); this module provides the equivalent directly on matrices:
 a scorer wrapper that augments X with its own past values before scoring,
 which detects delayed effects (queueing, batching) that instantaneous
 regression misses.
+
+``LaggedScorer`` implements the :class:`~repro.scoring.base.BatchScorer`
+protocol and is registered (as ``L2-lag2``, the default (0, 1, 2) lags
+over the inner L2): lagging is per-X and deterministic, so the batch
+path lags each X once and delegates the whole group to the inner
+scorer's vectorized path — bitwise equal to the sequential loop.
 """
 
 from __future__ import annotations
@@ -14,7 +20,14 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.scoring.base import Scorer, ScoringError, validate_triple
+from repro.scoring.base import (
+    BatchScorer,
+    Scorer,
+    ScoringError,
+    register_scorer,
+    validate_batch,
+    validate_triple,
+)
 from repro.scoring.joint import L2Scorer
 
 
@@ -49,7 +62,7 @@ def lag_matrix(matrix: np.ndarray, lags: Sequence[int]) -> np.ndarray:
     return np.hstack(blocks)
 
 
-class LaggedScorer(Scorer):
+class LaggedScorer(Scorer, BatchScorer):
     """Wraps another scorer, augmenting X (and Z) with lagged copies."""
 
     def __init__(self, lags: Sequence[int] = (0, 1, 2),
@@ -66,6 +79,26 @@ class LaggedScorer(Scorer):
         x_lagged = lag_matrix(x, self.lags)
         z_lagged = lag_matrix(z, self.lags) if z is not None else None
         return self._inner.score(x_lagged, y, z_lagged)
+
+    def score_batch(self, xs: Sequence[np.ndarray], y: np.ndarray,
+                    z: np.ndarray | None = None) -> np.ndarray:
+        """Vectorized scoring: lag each X once, batch the inner scorer.
+
+        Lagging Z preserves the shared-(Y, Z) structure (one lagged Z
+        per group), so the inner scorer's ``score_batch`` — when it has
+        one — amortises all Y/Z-side work exactly as for unlagged
+        hypotheses; inner scorers without a vectorized path fall back to
+        their sequential ``score`` per lagged design.
+        """
+        if not len(xs):
+            return np.empty(0)
+        validated, y_v, z_v = validate_batch(xs, y, z)
+        lagged = [lag_matrix(x, self.lags) for x in validated]
+        z_lagged = lag_matrix(z_v, self.lags) if z_v is not None else None
+        if isinstance(self._inner, BatchScorer):
+            return self._inner.score_batch(lagged, y_v, z_lagged)
+        return np.array([self._inner.score(x, y_v, z_lagged)
+                         for x in lagged])
 
 
 def best_lag(x: np.ndarray, y: np.ndarray, max_lag: int = 10,
@@ -87,3 +120,6 @@ def best_lag(x: np.ndarray, y: np.ndarray, max_lag: int = 10,
         if value > best[1]:
             best = (lag, value)
     return best
+
+
+register_scorer("L2-lag2", lambda: LaggedScorer())

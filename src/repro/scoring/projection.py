@@ -16,8 +16,11 @@ projection rounds — runs as one stacked call.  Hypotheses whose Y or Z
 would itself need projection fall back to the sequential path (their
 projected Y differs per round, so no work is shared).
 
-``PcaL2Scorer`` has no vectorized path; the batched backend falls back
-to per-hypothesis scoring for it.
+``PcaL2Scorer`` also implements the protocol: per-X truncation is
+independent, so the whole batch truncates through one stacked SVD
+(:func:`~repro.linmodel.batched.batched_pca_truncate`) and the truncated
+designs delegate to the inner L2 batch path — bitwise equal to the
+sequential loop.
 """
 
 from __future__ import annotations
@@ -26,10 +29,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.linmodel.batched import as_stack, batched_pca_truncate
 from repro.linmodel.ridge import DEFAULT_ALPHAS
 from repro.scoring.base import (
     BatchScorer,
     Scorer,
+    group_by_shape,
     register_scorer,
     validate_batch,
     validate_triple,
@@ -133,7 +138,7 @@ class ProjectedL2Scorer(Scorer, BatchScorer):
         return out
 
 
-class PcaL2Scorer(Scorer):
+class PcaL2Scorer(Scorer, BatchScorer):
     """PCA-truncated L2 scoring — the alternative §4.2 argues *against*.
 
     PCA keeps the top-variance directions of X, which model its normal
@@ -157,6 +162,31 @@ class PcaL2Scorer(Scorer):
         if z is not None:
             z = self._truncate(z)
         return self._inner.score(x, y, z)
+
+    def score_batch(self, xs: Sequence[np.ndarray], y: np.ndarray,
+                    z: np.ndarray | None = None) -> np.ndarray:
+        """Vectorized scoring: all truncations in one stacked SVD.
+
+        Each X's truncation depends only on that X, so same-shaped wide
+        designs truncate through one
+        :func:`~repro.linmodel.batched.batched_pca_truncate` call and
+        every design then rides the inner L2 batch path against the
+        shared (Y, Z) — bitwise equal to the sequential loop.
+        """
+        if not len(xs):
+            return np.empty(0)
+        validated, y_v, z_v = validate_batch(xs, y, z)
+        if z_v is not None:
+            z_v = self._truncate(z_v)
+        truncated: list[np.ndarray] = list(validated)
+        for shape, indices in group_by_shape(validated).items():
+            if shape[1] <= self.d:
+                continue        # narrow designs pass through untruncated
+            stack = batched_pca_truncate(
+                as_stack([validated[i] for i in indices]), self.d)
+            for pos, i in enumerate(indices):
+                truncated[i] = stack[pos]
+        return self._inner.score_batch(truncated, y_v, z_v)
 
     def _truncate(self, matrix: np.ndarray) -> np.ndarray:
         if matrix.shape[1] <= self.d:

@@ -103,6 +103,24 @@ def test_projection_batch_parity_on_wide_families(scorer_name,
     assert_tables_identical(sequential.score_table, batch.score_table)
 
 
+@pytest.mark.parametrize("scorer_name", ["l2-pca50", "l2-lag2"])
+def test_pca_and_lagged_batch_parity_on_wide_families(scorer_name,
+                                                      wide_hypotheses):
+    """The stacked-SVD truncation and lag paths match sequentially."""
+    sequential = HypothesisExecutor(n_workers=1).run(
+        wide_hypotheses, scorer=scorer_name)
+    batch = HypothesisExecutor(backend="batch").run(
+        wide_hypotheses, scorer=scorer_name)
+    assert_tables_identical(sequential.score_table, batch.score_table)
+
+
+@pytest.mark.parametrize("scorer_name", ["l2-pca50", "l2-lag2"])
+def test_pca_and_lagged_are_vectorized(scorer_name):
+    """Neither scorer falls back to the per-hypothesis loop anymore."""
+    from repro.scoring import BatchScorer, get_scorer
+    assert isinstance(get_scorer(scorer_name), BatchScorer)
+
+
 def test_rank_families_backend_plumbing(narrow_hypotheses):
     """rank_families(backend=...) delegates and matches the in-line loop."""
     inline = rank_families(narrow_hypotheses, scorer="L2")
@@ -116,13 +134,16 @@ def test_rank_families_backend_plumbing(narrow_hypotheses):
 
 
 def test_batch_backend_falls_back_without_vectorized_path(narrow_hypotheses):
-    """Scorers without a BatchScorer implementation still work batched."""
-    for scorer_name in ("L1", "L2-PCA50"):
-        sequential = HypothesisExecutor(n_workers=1).run(
-            narrow_hypotheses, scorer=scorer_name)
-        batch = HypothesisExecutor(backend="batch").run(
-            narrow_hypotheses, scorer=scorer_name)
-        assert_tables_identical(sequential.score_table, batch.score_table)
+    """Scorers without a BatchScorer implementation still work batched.
+
+    Only L1 lacks a vectorized path now (coordinate descent shares no
+    factorisation); PCA and lagged scoring batch since PR 2.
+    """
+    sequential = HypothesisExecutor(n_workers=1).run(
+        narrow_hypotheses, scorer="L1")
+    batch = HypothesisExecutor(backend="batch").run(
+        narrow_hypotheses, scorer="L1")
+    assert_tables_identical(sequential.score_table, batch.score_table)
 
 
 def test_invalid_backend_rejected():

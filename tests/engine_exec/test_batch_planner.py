@@ -1,0 +1,155 @@
+"""Regression tests for the batch planner's grouping and timing rules."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.core.families import FamilySet, FeatureFamily
+from repro.core.hypothesis import generate_hypotheses
+from repro.engine_exec import HypothesisExecutor, execute_batches, plan_batches
+from repro.scoring import get_scorer
+
+
+def _families(rng, n=5, n_samples=40):
+    target = rng.standard_normal(n_samples)
+    grid = np.arange(n_samples)
+    fams = [FeatureFamily("target", target[:, None], ["t:0"], grid)]
+    for i in range(n):
+        fams.append(FeatureFamily(
+            f"fam_{i}", rng.standard_normal((n_samples, 2)),
+            [f"fam_{i}:{j}" for j in range(2)], grid))
+    return FamilySet(fams)
+
+
+class _LazyHypothesis:
+    """A hypothesis whose Y family is rebuilt on every access.
+
+    Models a lazily materialising stream with a one-slot cache: ``.y``
+    returns a *fresh* family object each time and only the most recent
+    one stays alive, so earlier families are garbage-collected
+    mid-stream.  Under the old planner the ``id()`` keyed off one access
+    referred to an object that died before the next hypothesis was
+    planned, CPython handed its address to that hypothesis's fresh
+    family, and hypotheses from different (Y, Z) groups silently merged
+    (observed as 8 groups collapsing to 6 with members paired to the
+    wrong Y).  The members list is preallocated so the freed family
+    block is the next same-size allocation — the deterministic reuse
+    pattern that reproduced the bug.
+    """
+
+    _cache: FeatureFamily | None = None
+
+    def __init__(self, x: FeatureFamily, y_matrix: np.ndarray,
+                 grid: np.ndarray) -> None:
+        self.x = x
+        self._y_matrix = y_matrix
+        self._grid = grid
+        self._members = ["t:0"]
+
+    @property
+    def y(self) -> FeatureFamily:
+        fam = FeatureFamily("target", self._y_matrix, self._members,
+                            self._grid)
+        _LazyHypothesis._cache = fam    # frees the previous family
+        return fam
+
+    @property
+    def z(self) -> None:
+        return None
+
+    @property
+    def name(self) -> str:
+        return self.x.name
+
+    def matrices(self):
+        return self.x.matrix, self.y.matrix, None
+
+
+class TestPlanBatches:
+    def test_shared_families_collapse_to_one_batch(self, rng):
+        hypotheses = generate_hypotheses(_families(rng), "target")
+        batches = plan_batches(hypotheses)
+        assert len(batches) == 1
+        assert batches[0].indices == list(range(len(hypotheses)))
+
+    def test_no_condition_uses_sentinel_not_zero(self, rng):
+        """z=None groups must not rely on a forgeable literal key."""
+        from repro.engine_exec import batch as batch_module
+        assert batch_module._NO_CONDITION is not None
+        assert not isinstance(batch_module._NO_CONDITION, int)
+        hypotheses = generate_hypotheses(_families(rng), "target")
+        assert all(h.z is None for h in hypotheses)
+        (batch,) = plan_batches(hypotheses)
+        assert batch.z is None
+
+    def test_distinct_y_objects_stay_in_distinct_batches(self, rng):
+        fams = _families(rng)
+        hypotheses = generate_hypotheses(fams, "target")
+        # Same values, different object: must land in its own batch.
+        other_y = FeatureFamily("target", hypotheses[0].y.matrix.copy(),
+                                ["t:0"], hypotheses[0].y.grid)
+        rebound = type(hypotheses[0])(x=hypotheses[0].x, y=other_y)
+        batches = plan_batches(list(hypotheses) + [rebound])
+        assert len(batches) == 2
+
+    def test_lazy_families_never_merge_across_targets(self, rng):
+        """Regression: id-reuse across gc'd lazy families merged groups.
+
+        Every hypothesis materialises a fresh Y per access and only the
+        newest stays alive, so each keyed family's address is freed (and
+        reusable) before the next hypothesis is planned.  The planner
+        must key each one consistently with the object it stores: every
+        member of a batch must see exactly the batch's Y matrix, and
+        scoring through the batch path must equal scoring hypothesis by
+        hypothesis.
+        """
+        gc.collect()
+        n_samples = 40
+        grid = np.arange(n_samples)
+        hypotheses = []
+        for i in range(8):
+            h_rng = np.random.default_rng(1000 + i)
+            x = FeatureFamily(f"fam_{i}", h_rng.standard_normal((n_samples, 2)),
+                              [f"fam_{i}:{j}" for j in range(2)], grid)
+            y_matrix = h_rng.standard_normal((n_samples, 1)) + i
+            hypotheses.append(_LazyHypothesis(x, y_matrix, grid))
+        batches = plan_batches(hypotheses)
+        for batch in batches:
+            for h in batch.hypotheses:
+                assert np.array_equal(batch.y.matrix, h.y.matrix)
+        scorer = get_scorer("CorrMax")
+        scores, _, _ = execute_batches(hypotheses, scorer)
+        expected = np.array([scorer.score(*h.matrices()) for h in hypotheses])
+        assert np.array_equal(scores, expected)
+
+
+class TestAttributedTimings:
+    def test_batch_scorer_timings_flagged_as_attributed(self, rng):
+        hypotheses = generate_hypotheses(_families(rng), "target")
+        scores, seconds, attributed = execute_batches(hypotheses,
+                                                      get_scorer("L2"))
+        assert attributed.all()
+        # Equal shares within one group.
+        assert np.all(seconds == seconds[0])
+
+    def test_fallback_scorer_timings_are_measured(self, rng):
+        hypotheses = generate_hypotheses(_families(rng), "target")
+        _, _, attributed = execute_batches(hypotheses, get_scorer("L1"))
+        assert not attributed.any()
+
+    def test_single_hypothesis_batch_is_measured(self, rng):
+        hypotheses = generate_hypotheses(_families(rng, n=1), "target")
+        _, _, attributed = execute_batches(hypotheses, get_scorer("L2"))
+        assert not attributed.any()
+
+    def test_report_exposes_attribution(self, rng):
+        hypotheses = generate_hypotheses(_families(rng), "target")
+        batch = HypothesisExecutor(backend="batch").run(hypotheses,
+                                                        scorer="L2")
+        assert batch.has_attributed_timings()
+        assert all(t.attributed for t in batch.timings)
+        sequential = HypothesisExecutor(n_workers=1).run(hypotheses,
+                                                         scorer="L2")
+        assert not sequential.has_attributed_timings()
+        assert all(not t.attributed for t in sequential.timings)

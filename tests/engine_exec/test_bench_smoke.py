@@ -41,8 +41,33 @@ def test_backend_rows_well_formed():
             assert row[key] > 0.0
         assert (row["max_seconds_per_family"]
                 >= row["mean_seconds_per_family"])
+    by_backend = {row["backend"]: row for row in rows}
+    # Thread timings are individually measured; batch ones are equal
+    # shares of the stacked call and flagged as such.
+    assert by_backend["thread"]["share_attributed"] is False
+    assert by_backend["batch"]["share_attributed"] is True
     rendered = bench.format_backend_rows(rows)
     assert "thread" in rendered and "batch" in rendered
+    assert "attributed" in rendered
+
+
+def test_transfer_rows_well_formed():
+    bench = _load_bench_module()
+    hypotheses = bench.synthetic_hypotheses(n_families=8, n_samples=60)
+    rows = bench.serialization_overhead_rows(hypotheses, scorer="CorrMax",
+                                             n_workers=2)
+    assert [row["transfer"] for row in rows] == ["pickle", "shm"]
+    for row in rows:
+        assert set(row) == set(bench.TRANSFER_ROW_FIELDS)
+        assert row["scorer"] == "CorrMax"
+        assert row["n_hypotheses"] == 8
+        assert row["bytes_moved"] > 0
+        assert 0.0 <= row["serialization_share"] <= 1.0
+    by_transfer = {row["transfer"]: row for row in rows}
+    assert (by_transfer["shm"]["bytes_moved"]
+            < by_transfer["pickle"]["bytes_moved"])
+    rendered = bench.format_transfer_rows(rows)
+    assert "pickle" in rendered and "shm" in rendered
 
 
 def test_synthetic_workload_shape():

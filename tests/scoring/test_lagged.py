@@ -68,6 +68,39 @@ class TestLaggedScorer:
         assert LaggedScorer(lags=(0, 1, 2)).score(x, y) < 0.1
 
 
+class TestLaggedBatchPath:
+    def test_batch_matches_sequential_bitwise(self, rng):
+        scorer = LaggedScorer(lags=(0, 1, 2))
+        y = rng.standard_normal((60, 1))
+        z = rng.standard_normal((60, 2))
+        xs = [rng.standard_normal((60, 2)) for _ in range(4)]
+        for condition in (None, z):
+            batch = scorer.score_batch(xs, y, condition)
+            sequential = np.array([scorer.score(x, y, condition)
+                                   for x in xs])
+            assert np.array_equal(batch, sequential)
+
+    def test_registered_and_vectorized(self):
+        from repro.scoring import BatchScorer, get_scorer, list_scorers
+        assert "l2-lag2" in list_scorers()
+        scorer = get_scorer("L2-lag2")
+        assert isinstance(scorer, LaggedScorer)
+        assert isinstance(scorer, BatchScorer)
+        assert scorer.lags == (0, 1, 2)
+
+    def test_non_batch_inner_still_scores(self, rng):
+        from repro.scoring.joint import L1Scorer
+        scorer = LaggedScorer(lags=(0, 1), inner=L1Scorer())
+        y = rng.standard_normal((50, 1))
+        xs = [rng.standard_normal((50, 2)) for _ in range(3)]
+        batch = scorer.score_batch(xs, y)
+        sequential = np.array([scorer.score(x, y) for x in xs])
+        assert np.array_equal(batch, sequential)
+
+    def test_empty_batch(self):
+        assert LaggedScorer().score_batch([], np.zeros((5, 1))).size == 0
+
+
 class TestBestLag:
     def test_recovers_true_delay(self, rng):
         n = 500

@@ -66,6 +66,43 @@ class TestProjectedL2Scorer:
             ProjectedL2Scorer(d=10, n_projections=0)
 
 
+class TestPcaBatchPath:
+    def test_batch_matches_sequential_bitwise(self, rng):
+        """The stacked-SVD truncation equals the per-hypothesis loop."""
+        scorer = PcaL2Scorer(d=10)
+        y = rng.standard_normal((60, 1))
+        z = rng.standard_normal((60, 2))
+        # Mixed widths: narrow pass-throughs and wide truncations.
+        xs = ([rng.standard_normal((60, 25)) for _ in range(3)]
+              + [rng.standard_normal((60, 4)) for _ in range(2)]
+              + [rng.standard_normal((60, 18))])
+        for condition in (None, z):
+            batch = scorer.score_batch(xs, y, condition)
+            sequential = np.array([scorer.score(x, y, condition)
+                                   for x in xs])
+            assert np.array_equal(batch, sequential)
+
+    def test_wide_z_truncated_once(self, rng):
+        scorer = PcaL2Scorer(d=10)
+        y = rng.standard_normal((60, 1))
+        z = rng.standard_normal((60, 25))       # wider than d
+        xs = [rng.standard_normal((60, 15)) for _ in range(3)]
+        batch = scorer.score_batch(xs, y, z)
+        sequential = np.array([scorer.score(x, y, z) for x in xs])
+        assert np.array_equal(batch, sequential)
+
+    def test_batched_truncate_kernel_bitwise(self, rng):
+        from repro.linmodel.batched import as_stack, batched_pca_truncate
+        xs = [rng.standard_normal((40, 12)) for _ in range(5)]
+        stacked = batched_pca_truncate(as_stack(xs), 7)
+        scorer = PcaL2Scorer(d=7)
+        for pos, x in enumerate(xs):
+            assert np.array_equal(stacked[pos], scorer._truncate(x))
+
+    def test_empty_batch(self):
+        assert PcaL2Scorer(d=5).score_batch([], np.zeros((5, 1))).size == 0
+
+
 class TestPcaScorerAblation:
     def test_pca_discards_anomaly_random_projection_keeps_it(self, rng):
         """§4.2's claim: PCA models normal behaviour and can drop the
