@@ -23,10 +23,16 @@ Scores are bitwise identical to the sequential path by the
 ``BatchScorer`` contract, so the resulting Score Table matches the
 ``thread``/``process`` backends exactly (ranks, scores, p-values).
 Per-hypothesis wall times are not individually observable inside a
-stacked call; each hypothesis in a group is attributed an equal share
-of the group's elapsed time, and the returned ``attributed`` flags mark
-exactly those rows so aggregate consumers (Figure 10's max-per-family,
-the bench harness) can distinguish measured from attributed times.
+stacked call, but the stacked call itself decomposes: batch scorers
+stack same-shaped X matrices, so :func:`execute_batches` issues one
+``score_batch`` call *per shape group* and measures each call's wall
+time individually.  Only within one shape group is the elapsed time
+attributed as an equal share, and the returned ``attributed`` flags
+mark exactly those shared rows so aggregate consumers (Figure 10's
+max-per-family, the bench harness) can distinguish measured from
+attributed times.  Splitting by shape cannot change any score: the
+``BatchScorer`` contract makes ``score_batch`` independent of batch
+composition.
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ import numpy as np
 from repro.core.families import FeatureFamily
 from repro.core.hypothesis import Hypothesis
 from repro.engine_exec.accounting import SerializationAccounting
-from repro.scoring.base import BatchScorer, Scorer
+from repro.scoring.base import BatchScorer, Scorer, group_by_shape
 
 #: Stands in for ``z=None`` in grouping keys.  A dedicated module-level
 #: object (always alive, so its id() can never be recycled) rather than
@@ -105,7 +111,10 @@ def execute_batches(hypotheses: Sequence[Hypothesis], scorer: Scorer,
     Returns ``(scores, seconds, attributed)`` arrays aligned with the
     input order; ``attributed[i]`` is True when ``seconds[i]`` is an
     equal share of a stacked call's elapsed time rather than an
-    individually measured wall time.  ``accounting`` performs the same
+    individually measured wall time.  Batch scorers are invoked once
+    per *shape group* (the unit they stack internally), so the elapsed
+    time of each stacked numpy call is measured per group and only the
+    within-group split is attributed.  ``accounting`` performs the same
     per-hypothesis serialisation round-trip as the sequential path
     (restored arrays are bitwise equal, so scores are unaffected).
     """
@@ -120,16 +129,19 @@ def execute_batches(hypotheses: Sequence[Hypothesis], scorer: Scorer,
         if accounting is not None:
             xs = [accounting.round_trip(x, y, z)[0] for x in xs]
         if isinstance(scorer, BatchScorer):
-            start = time.perf_counter()
-            values = scorer.score_batch(xs, y, z)
-            elapsed = time.perf_counter() - start
-            if accounting is not None:
-                accounting.record_score_time(elapsed)
-            share = elapsed / batch.size
-            for i, value in zip(batch.indices, values):
-                scores[i] = float(value)
-                seconds[i] = share
-                attributed[i] = batch.size > 1
+            for members in group_by_shape(xs).values():
+                group_xs = [xs[j] for j in members]
+                start = time.perf_counter()
+                values = scorer.score_batch(group_xs, y, z)
+                elapsed = time.perf_counter() - start
+                if accounting is not None:
+                    accounting.record_score_time(elapsed)
+                share = elapsed / len(members)
+                for j, value in zip(members, values):
+                    i = batch.indices[j]
+                    scores[i] = float(value)
+                    seconds[i] = share
+                    attributed[i] = len(members) > 1
         else:
             for i, x in zip(batch.indices, xs):
                 start = time.perf_counter()

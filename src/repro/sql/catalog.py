@@ -27,6 +27,9 @@ class Database:
     def __init__(self, optimize_queries: bool = True) -> None:
         self._tables: dict[str, Table] = {}
         self._providers: dict[str, TableProvider] = {}
+        self._versioned: dict[str, tuple[TableProvider,
+                                         Callable[[], Any]]] = {}
+        self._version_cache: dict[str, tuple[Any, Table]] = {}
         self._udfs: dict[str, Callable[..., Any]] = {}
         self._optimize = optimize_queries
 
@@ -36,12 +39,30 @@ class Database:
     def register(self, name: str, table: Table) -> None:
         """Register (or replace) a materialised table."""
         self._tables[name.lower()] = table
-        self._providers.pop(name.lower(), None)
+        self._forget_lazy(name.lower())
 
     def register_provider(self, name: str, provider: TableProvider) -> None:
         """Register a lazy table provider (evaluated on first reference)."""
-        self._providers[name.lower()] = provider
-        self._tables.pop(name.lower(), None)
+        key = name.lower()
+        self._providers[key] = provider
+        self._tables.pop(key, None)
+        self._versioned.pop(key, None)
+        self._version_cache.pop(key, None)
+
+    def register_versioned_provider(self, name: str, provider: TableProvider,
+                                    version_fn: Callable[[], Any]) -> None:
+        """Register a lazy provider whose result is keyed on a version.
+
+        The provider materialises on first reference and is re-invoked
+        whenever ``version_fn()`` returns a value different from the one
+        the cached table was built at — the cache-coherence hook for
+        tables backed by a mutable store (``store.version``).
+        """
+        key = name.lower()
+        self._versioned[key] = (provider, version_fn)
+        self._version_cache.pop(key, None)
+        self._tables.pop(key, None)
+        self._providers.pop(key, None)
 
     def register_udf(self, name: str, fn: Callable[..., Any]) -> None:
         """Register a scalar user-defined function, e.g. ``hostgroup``."""
@@ -50,17 +71,33 @@ class Database:
     def drop(self, name: str) -> None:
         """Remove a table from the catalog (no error if absent)."""
         self._tables.pop(name.lower(), None)
-        self._providers.pop(name.lower(), None)
+        self._forget_lazy(name.lower())
+
+    def _forget_lazy(self, key: str) -> None:
+        self._providers.pop(key, None)
+        self._versioned.pop(key, None)
+        self._version_cache.pop(key, None)
 
     def table_names(self) -> list[str]:
         """All registered table names, sorted."""
-        return sorted(set(self._tables) | set(self._providers))
+        return sorted(set(self._tables) | set(self._providers)
+                      | set(self._versioned))
 
     def table(self, name: str) -> Table:
         """Resolve a table by name, materialising lazy providers."""
         key = name.lower()
         if key in self._tables:
             return self._tables[key]
+        entry = self._versioned.get(key)
+        if entry is not None:
+            provider, version_fn = entry
+            version = version_fn()
+            cached = self._version_cache.get(key)
+            if cached is not None and cached[0] == version:
+                return cached[1]
+            table = provider()
+            self._version_cache[key] = (version, table)
+            return table
         provider = self._providers.get(key)
         if provider is not None:
             table = provider()

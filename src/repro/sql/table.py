@@ -5,11 +5,21 @@ A :class:`Table` has named columns and rows of Python values.  Cells may be
 dictionaries — the ``tag`` map column of the paper's ``tsdb`` table and the
 ``v`` map of the Feature Family Table (Figure 4) are dict-valued cells
 accessed with ``tag['pipeline_name']`` subscripts.
+
+Tables can also be built *columnar* via :meth:`Table.from_columns`: the
+column vectors (numpy arrays or plain sequences) are stored as-is and the
+row tuples are materialised lazily on first access to ``.rows``.  Bulk
+producers — the tsdb adapter, rollup materialisation — build numpy
+columns directly and skip the per-observation tuple explosion entirely
+until (unless) a row-oriented consumer needs it; ``column()`` reads are
+served from the stored vectors either way.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
 
 from repro.sql.errors import SchemaError
 
@@ -25,7 +35,9 @@ class Table:
         self.columns: list[str] = list(columns)
         if len(set(self.columns)) != len(self.columns):
             raise SchemaError(f"duplicate column names: {self.columns}")
-        self.rows: list[Row] = []
+        self._rows: list[Row] | None = []
+        self._coldata: list[Any] | None = None
+        self._nrows = 0
         width = len(self.columns)
         for row in rows:
             tup = tuple(row)
@@ -33,8 +45,22 @@ class Table:
                 raise SchemaError(
                     f"row width {len(tup)} does not match {width} columns"
                 )
-            self.rows.append(tup)
+            self._rows.append(tup)
+        self._nrows = len(self._rows)
         self._index: dict[str, int] = {c: i for i, c in enumerate(self.columns)}
+
+    @property
+    def rows(self) -> list[Row]:
+        """Row tuples; materialised lazily for columnar tables."""
+        if self._rows is None:
+            self._rows = self._materialise_rows()
+        return self._rows
+
+    def _materialise_rows(self) -> list[Row]:
+        cells = [_column_cells(col) for col in self._coldata]
+        if not cells:
+            return []
+        return list(zip(*cells))
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -54,15 +80,50 @@ class Table:
         return cls(columns, rows)
 
     @classmethod
+    def from_columns(cls, columns: Sequence[str],
+                     data: Sequence[Sequence[Any] | np.ndarray]) -> "Table":
+        """Build a table from column vectors without materialising rows.
+
+        ``data`` holds one vector (numpy array, list, or tuple) per
+        column name, all of equal length.  The vectors are stored as-is;
+        ``.rows`` converts them to Python-valued row tuples on first
+        access (numpy columns via ``tolist``, so cells are plain
+        ``int``/``float`` exactly as a row-built table would hold).
+        """
+        names = list(columns)
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names: {names}")
+        if len(data) != len(names):
+            raise SchemaError(
+                f"{len(data)} column vectors for {len(names)} columns"
+            )
+        lengths = {len(col) for col in data}
+        if len(lengths) > 1:
+            raise SchemaError(
+                f"column vectors have unequal lengths: {sorted(lengths)}"
+            )
+        table = cls.__new__(cls)
+        table.columns = names
+        table._rows = None
+        table._coldata = list(data)
+        table._nrows = lengths.pop() if lengths else 0
+        table._index = {c: i for i, c in enumerate(names)}
+        return table
+
+    @classmethod
     def empty(cls, columns: Sequence[str]) -> "Table":
         """An empty table with the given schema."""
         return cls(columns, [])
+
+    def is_materialised(self) -> bool:
+        """True once row tuples exist (always true for row-built tables)."""
+        return self._rows is not None
 
     # ------------------------------------------------------------------
     # Basic protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self._rows) if self._rows is not None else self._nrows
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self.rows)
@@ -73,7 +134,7 @@ class Table:
         return self.columns == other.columns and self.rows == other.rows
 
     def __repr__(self) -> str:
-        return f"Table(columns={self.columns}, rows={len(self.rows)})"
+        return f"Table(columns={self.columns}, rows={len(self)})"
 
     # ------------------------------------------------------------------
     # Column access
@@ -94,8 +155,14 @@ class Table:
         )
 
     def column(self, name: str) -> list[Any]:
-        """Return all values of one column as a list."""
+        """Return all values of one column as a list.
+
+        Columnar tables serve this from the stored vector without
+        materialising row tuples.
+        """
         idx = self.column_index(name)
+        if self._rows is None:
+            return _column_cells(self._coldata[idx])
         return [row[idx] for row in self.rows]
 
     def to_dicts(self) -> list[dict[str, Any]]:
@@ -106,8 +173,11 @@ class Table:
     # Relational helpers used by the executor and by library code
     # ------------------------------------------------------------------
     def select_columns(self, names: Sequence[str]) -> "Table":
-        """Project onto a subset of columns."""
+        """Project onto a subset of columns (stays columnar when lazy)."""
         indexes = [self.column_index(n) for n in names]
+        if self._rows is None:
+            return Table.from_columns(
+                list(names), [self._coldata[i] for i in indexes])
         rows = [tuple(row[i] for i in indexes) for row in self.rows]
         return Table(list(names), rows)
 
@@ -120,11 +190,16 @@ class Table:
     def rename(self, mapping: Mapping[str, str]) -> "Table":
         """Return a copy with some columns renamed."""
         columns = [mapping.get(c, c) for c in self.columns]
+        if self._rows is None:
+            return Table.from_columns(columns, self._coldata)
         return Table(columns, self.rows)
 
     def prefixed(self, prefix: str) -> "Table":
         """Return a copy with every column prefixed (``alias.column``)."""
-        return Table([f"{prefix}.{c}" for c in self.columns], self.rows)
+        columns = [f"{prefix}.{c}" for c in self.columns]
+        if self._rows is None:
+            return Table.from_columns(columns, self._coldata)
+        return Table(columns, self.rows)
 
     def union_all(self, other: "Table") -> "Table":
         """Concatenate rows; schemas are matched by position.
@@ -181,6 +256,13 @@ class Table:
         if len(self.rows) > n:
             lines.append(f"... ({len(self.rows)} rows total)")
         return "\n".join(lines)
+
+
+def _column_cells(column: Any) -> list[Any]:
+    """One column vector as a list of plain Python cell values."""
+    if isinstance(column, np.ndarray):
+        return column.tolist()
+    return list(column)
 
 
 def _hashable_row(row: Row) -> tuple:

@@ -5,20 +5,27 @@ attributes (``flow{src=datanode-1, dest=datanode-2}`` etc.) into OpenTSDB or
 Druid.  This package provides the equivalent substrate for the reproduction:
 
 - :mod:`repro.tsdb.model` — the data model: :class:`~repro.tsdb.model.SeriesId`
-  (metric name + tag map) and :class:`~repro.tsdb.model.DataPoint`.
+  (metric name + tag map), :class:`~repro.tsdb.model.DataPoint`, and the
+  chunked-numpy :class:`~repro.tsdb.model.SeriesData` columns (append
+  buffer + sealed int64/float64 chunks + cached consolidated view).
 - :mod:`repro.tsdb.storage` — :class:`~repro.tsdb.storage.TimeSeriesStore`, a
-  columnar in-memory store with inverted indexes on metric names and tags.
-- :mod:`repro.tsdb.query` — scan, filter, downsample and aggregation helpers.
+  columnar in-memory store with inverted indexes on metric names and tags,
+  O(1) ``time_range``, and a monotonic mutation ``version`` that derived
+  caches key on.
+- :mod:`repro.tsdb.query` — scan, filter, vectorized downsample and
+  aggregation helpers.
 - :mod:`repro.tsdb.ingest` — a line-protocol parser for bulk loading.
 - :mod:`repro.tsdb.adapter` — exposes the store as the relational ``tsdb``
-  table used by the paper's SQL listings (Appendix C).
+  table used by the paper's SQL listings (Appendix C), built columnar.
+- :mod:`repro.tsdb.rollup` — version-invalidated materialised rollup views.
 """
 
 from repro.tsdb.model import DataPoint, SeriesId, parse_series_expr
 from repro.tsdb.storage import TimeSeriesStore
 from repro.tsdb.query import Downsampler, ScanQuery
 from repro.tsdb.ingest import parse_line, load_lines
-from repro.tsdb.adapter import tsdb_table
+from repro.tsdb.adapter import register_store, tsdb_table
+from repro.tsdb.rollup import RollupCatalog, RollupSpec
 
 __all__ = [
     "DataPoint",
@@ -29,5 +36,8 @@ __all__ = [
     "ScanQuery",
     "parse_line",
     "load_lines",
+    "register_store",
     "tsdb_table",
+    "RollupCatalog",
+    "RollupSpec",
 ]

@@ -7,32 +7,92 @@ Appendix C's listings query a table with the schema::
 
 one row per observation.  :func:`tsdb_table` materialises that table from a
 store; :func:`register_store` attaches it to a :class:`~repro.sql.Database`
-as a lazy provider so the conversion happens on first query.
+as a lazy provider keyed on the store's mutation version, so the
+conversion happens on first query and refreshes only when the store
+actually changes.
+
+Materialisation is columnar: the per-series consolidated numpy columns
+are concatenated, ordered with one ``lexsort`` over ``(timestamp,
+metric-name rank)``, and handed to :meth:`Table.from_columns` — no
+per-observation Python tuple is built unless a row-oriented consumer
+asks for ``.rows``.  Row ordering and cell values are identical to the
+historical per-point explosion (a stable sort by ``(timestamp,
+metric_name)`` over series in ``series_ids()`` order).
 """
 
 from __future__ import annotations
 
+from typing import Iterable
+
+import numpy as np
+
 from repro.sql.table import Table
+from repro.tsdb.model import SeriesId
 from repro.tsdb.storage import TimeSeriesStore
 
 TSDB_COLUMNS = ["timestamp", "metric_name", "tag", "value"]
+
+
+def observations_to_table(
+        items: Iterable[tuple[SeriesId, np.ndarray, np.ndarray]]) -> Table:
+    """Build the ``(timestamp, metric_name, tag, value)`` table columnar.
+
+    ``items`` yields per-series ``(series, timestamps, values)`` column
+    triples; the result is ordered by ``(timestamp, metric_name)`` with
+    ties keeping the input series order (the ordering the row-explode
+    path produced with a stable Python sort).  Each series' rows share
+    one tag dict, as before.
+    """
+    ts_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    metas: list[tuple[str, dict, int]] = []
+    for series, ts, vals in items:
+        if ts.size == 0:
+            continue
+        ts_parts.append(ts)
+        val_parts.append(vals)
+        metas.append((series.name, series.tag_map(), int(ts.size)))
+    if not ts_parts:
+        return Table(TSDB_COLUMNS, [])
+    ts_all = np.concatenate(ts_parts)
+    val_all = np.concatenate(val_parts)
+    total = int(ts_all.size)
+    lengths = np.asarray([n for _, _, n in metas], dtype=np.intp)
+    # Rank metric names so the secondary sort key is an int column; the
+    # ranks order exactly like the strings they stand for.
+    name_rank = {name: i
+                 for i, name in enumerate(sorted({m[0] for m in metas}))}
+    codes = np.repeat(
+        np.asarray([name_rank[name] for name, _, _ in metas],
+                   dtype=np.int64),
+        lengths)
+    order = np.lexsort((codes, ts_all))   # primary ts, secondary name; stable
+    name_col = np.empty(total, dtype=object)
+    tag_col = np.empty(total, dtype=object)
+    offset = 0
+    for name, tags, n in metas:
+        name_col[offset:offset + n] = name
+        tag_col[offset:offset + n] = [tags] * n   # one shared dict per series
+        offset += n
+    return Table.from_columns(
+        TSDB_COLUMNS,
+        [ts_all[order], name_col[order], tag_col[order], val_all[order]])
 
 
 def tsdb_table(store: TimeSeriesStore,
                start: int | None = None,
                end: int | None = None) -> Table:
     """Materialise the relational view of a store (optionally time-clipped)."""
-    rows = []
-    for series in store.series_ids():
-        tags = series.tag_map()
-        ts, values = store.arrays(series, start, end)
-        name = series.name
-        for t, v in zip(ts.tolist(), values.tolist()):
-            rows.append((int(t), name, tags, float(v)))
-    rows.sort(key=lambda r: (r[0], r[1]))
-    return Table(TSDB_COLUMNS, rows)
+    return observations_to_table(store.iter_arrays(start=start, end=end))
 
 
 def register_store(db, store: TimeSeriesStore, name: str = "tsdb") -> None:
-    """Register a store on a Database as a lazily-materialised table."""
-    db.register_provider(name, lambda: tsdb_table(store))
+    """Register a store on a Database as a lazily-materialised table.
+
+    The provider is keyed on ``store.version``: the table materialises
+    on first query and re-materialises only after the store mutates
+    (including in-place ``apply`` fault overlays, which leave
+    ``num_points()`` unchanged).
+    """
+    db.register_versioned_provider(
+        name, lambda: tsdb_table(store), lambda: store.version)

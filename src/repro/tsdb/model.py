@@ -10,13 +10,22 @@ metric name plus a set of key-value tags::
 Multi-measurement observations (bytecount, packetcount, retransmits in one
 event) are modelled as one series per measurement, which matches how
 OpenTSDB flattens them.
+
+Series columns are *chunked numpy* storage (:class:`SeriesData`): point
+appends land in a small Python buffer that is sealed into immutable
+int64/float64 chunks, bulk appends become one chunk per call, and reads
+go through a cached consolidated view, so the ingest -> scan path never
+converts Python lists point by point.  This is the storage half of the
+paper's §4.2 "dense arrays" optimisation.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
+
+import numpy as np
 
 
 _SERIES_EXPR_RE = re.compile(
@@ -109,26 +118,214 @@ class DataPoint:
             )
 
 
-@dataclass
-class SeriesData:
-    """Dense view of one series: parallel timestamp/value arrays."""
+#: Point appends are buffered and sealed into a numpy chunk once the
+#: buffer reaches this many points.  Small enough that a freshly written
+#: tail stays cheap to consolidate, large enough that a million-point
+#: per-point ingest produces only a few hundred chunks.
+CHUNK_TARGET = 4096
 
-    series: SeriesId
-    timestamps: list[int] = field(default_factory=list)
-    values: list[float] = field(default_factory=list)
+
+class SeriesData:
+    """Chunked columnar storage for one series.
+
+    Layout:
+
+    - ``_chunk_ts`` / ``_chunk_vals`` — sealed, immutable ``int64`` /
+      ``float64`` chunk pairs in time order.
+    - ``_buf_ts`` / ``_buf_vals`` — a small Python append buffer for
+      point-at-a-time ingest, sealed every :data:`CHUNK_TARGET` points.
+    - a cached *consolidated view*: one contiguous ``(timestamps,
+      values)`` array pair covering every chunk plus the buffer.  The
+      first read after a mutation concatenates and **compacts** the
+      chunks into that single pair, so repeated scans are O(1) and the
+      data is never held twice.
+
+    Timestamps must be appended in non-decreasing order, which keeps the
+    consolidated arrays sorted and makes min/max O(1) (first element of
+    the first chunk, last element of the tail).
+
+    ``timestamps`` / ``values`` are exposed as read-only numpy views of
+    the consolidated arrays (the pre-columnar substrate exposed Python
+    lists here).
+    """
+
+    __slots__ = ("series", "_chunk_ts", "_chunk_vals", "_buf_ts",
+                 "_buf_vals", "_length", "_consolidated")
+
+    def __init__(self, series: SeriesId,
+                 timestamps: Iterable[int] | np.ndarray | None = None,
+                 values: Iterable[float] | np.ndarray | None = None) -> None:
+        self.series = series
+        self._chunk_ts: list[np.ndarray] = []
+        self._chunk_vals: list[np.ndarray] = []
+        self._buf_ts: list[int] = []
+        self._buf_vals: list[float] = []
+        self._length = 0
+        self._consolidated: tuple[np.ndarray, np.ndarray] | None = None
+        if timestamps is not None or values is not None:
+            self.extend(timestamps if timestamps is not None else (),
+                        values if values is not None else ())
 
     def __len__(self) -> int:
-        return len(self.timestamps)
+        return self._length
 
+    def __repr__(self) -> str:
+        return (f"SeriesData(series={self.series}, points={self._length}, "
+                f"chunks={self.num_chunks})")
+
+    # ------------------------------------------------------------------
+    # O(1) introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_chunks(self) -> int:
+        """Sealed chunks plus the live append buffer (if non-empty)."""
+        return len(self._chunk_ts) + (1 if self._buf_ts else 0)
+
+    @property
+    def min_timestamp(self) -> int | None:
+        """Earliest timestamp, or ``None`` when empty.  O(1)."""
+        if self._chunk_ts:
+            return int(self._chunk_ts[0][0])
+        if self._buf_ts:
+            return self._buf_ts[0]
+        return None
+
+    @property
+    def max_timestamp(self) -> int | None:
+        """Latest timestamp, or ``None`` when empty.  O(1)."""
+        if self._buf_ts:
+            return self._buf_ts[-1]
+        if self._chunk_ts:
+            return int(self._chunk_ts[-1][-1])
+        return None
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Read-only consolidated int64 timestamp column."""
+        return self.arrays()[0]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only consolidated float64 value column."""
+        return self.arrays()[1]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
     def append(self, timestamp: int, value: float) -> None:
         """Append one point; timestamps must be non-decreasing."""
-        if self.timestamps and timestamp < self.timestamps[-1]:
+        timestamp = int(timestamp)
+        last = self.max_timestamp
+        if last is not None and timestamp < last:
             raise SeriesFormatError(
                 f"out-of-order append to {self.series}: "
-                f"{timestamp} < {self.timestamps[-1]}"
+                f"{timestamp} < {last}"
             )
-        self.timestamps.append(timestamp)
-        self.values.append(float(value))
+        self._buf_ts.append(timestamp)
+        self._buf_vals.append(float(value))
+        self._length += 1
+        self._consolidated = None
+        if len(self._buf_ts) >= CHUNK_TARGET:
+            self._seal_buffer()
+
+    def extend(self, timestamps: Iterable[int] | np.ndarray,
+               values: Iterable[float] | np.ndarray) -> int:
+        """Bulk-append a column pair as one sealed chunk.
+
+        Monotonicity is checked vectorized; returns the number of points
+        appended.
+        """
+        ts = (timestamps if isinstance(timestamps, np.ndarray)
+              else np.asarray(list(timestamps)))
+        vals = (values if isinstance(values, np.ndarray)
+                else np.asarray(list(values)))
+        if ts.shape != vals.shape or ts.ndim != 1:
+            raise SeriesFormatError(
+                f"timestamps ({ts.size}) and values ({vals.size}) "
+                f"must have equal length for {self.series}"
+            )
+        if ts.size == 0:
+            return 0
+        ts = ts.astype(np.int64)         # always copies: chunks own their data
+        vals = vals.astype(np.float64)
+        last = self.max_timestamp
+        if last is not None and ts[0] < last:
+            raise SeriesFormatError(
+                f"out-of-order append to {self.series}: "
+                f"{int(ts[0])} < {last}"
+            )
+        if ts.size > 1:
+            bad = np.flatnonzero(ts[1:] < ts[:-1])
+            if bad.size:
+                i = int(bad[0]) + 1
+                raise SeriesFormatError(
+                    f"out-of-order append to {self.series}: "
+                    f"{int(ts[i])} < {int(ts[i - 1])}"
+                )
+        self._seal_buffer()
+        ts.flags.writeable = False
+        vals.flags.writeable = False
+        self._chunk_ts.append(ts)
+        self._chunk_vals.append(vals)
+        self._length += ts.size
+        self._consolidated = None
+        return int(ts.size)
+
+    def replace_values(self, new_values: np.ndarray) -> None:
+        """Swap the value column (same length) — the fault-overlay path."""
+        new_values = np.asarray(new_values, dtype=np.float64)
+        if new_values.shape != (self._length,):
+            raise SeriesFormatError(
+                f"replacement column for {self.series} has shape "
+                f"{new_values.shape}, expected ({self._length},)"
+            )
+        ts, _ = self.arrays()            # consolidates + compacts timestamps
+        vals = new_values.copy()
+        vals.flags.writeable = False
+        self._chunk_ts = [ts] if ts.size else []
+        self._chunk_vals = [vals] if vals.size else []
+        self._buf_ts = []
+        self._buf_vals = []
+        self._consolidated = (ts, vals)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The cached consolidated ``(timestamps, values)`` view.
+
+        The first call after a mutation concatenates chunks + buffer and
+        compacts storage down to the single consolidated pair; further
+        calls return the same read-only arrays without copying.
+        """
+        if self._consolidated is None:
+            self._seal_buffer()
+            if not self._chunk_ts:
+                ts = np.empty(0, dtype=np.int64)
+                vals = np.empty(0, dtype=np.float64)
+            elif len(self._chunk_ts) == 1:
+                ts, vals = self._chunk_ts[0], self._chunk_vals[0]
+            else:
+                ts = np.concatenate(self._chunk_ts)
+                vals = np.concatenate(self._chunk_vals)
+            ts.flags.writeable = False
+            vals.flags.writeable = False
+            self._chunk_ts = [ts] if ts.size else []
+            self._chunk_vals = [vals] if vals.size else []
+            self._consolidated = (ts, vals)
+        return self._consolidated
+
+    def _seal_buffer(self) -> None:
+        if not self._buf_ts:
+            return
+        ts = np.asarray(self._buf_ts, dtype=np.int64)
+        vals = np.asarray(self._buf_vals, dtype=np.float64)
+        ts.flags.writeable = False
+        vals.flags.writeable = False
+        self._chunk_ts.append(ts)
+        self._chunk_vals.append(vals)
+        self._buf_ts = []
+        self._buf_vals = []
 
 
 def parse_series_expr(expr: str) -> tuple[str, dict[str, str]]:

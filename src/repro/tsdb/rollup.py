@@ -4,7 +4,13 @@ Appendix C: "Commonly used feature family aggregates (such as 99th
 percentile latency) can be made available as materialised views to avoid
 expensive aggregations."  A :class:`RollupCatalog` maintains named
 downsampled/aggregated views over a store, invalidating them when the
-store grows, and can register each view as a SQL table.
+store *mutates* (keyed on the store's monotonic ``version``, so value
+rewrites from fault injection invalidate just like appends), and can
+register each view as a SQL table.
+
+Materialisation is columnar: the downsampled per-series columns go
+through :func:`~repro.tsdb.adapter.observations_to_table` instead of an
+explicit per-observation row explosion.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.sql.table import Table
+from repro.tsdb.adapter import observations_to_table
 from repro.tsdb.model import SeriesFormatError
 from repro.tsdb.query import Downsampler, ScanQuery
 from repro.tsdb.storage import TimeSeriesStore
@@ -55,14 +62,17 @@ class RollupCatalog:
 
         Schema: ``(timestamp, metric_name, tag, value)`` like the raw
         tsdb adapter, but at the rollup's granularity.  The cache key is
-        the store's point count, so appends invalidate stale views.
+        the store's mutation ``version``, so appends *and* in-place
+        value transforms (``store.apply``, used by fault injection)
+        invalidate stale views — a point-count key would miss the
+        latter.
         """
         spec = self._specs.get(name)
         if spec is None:
             raise SeriesFormatError(
                 f"unknown rollup {name!r}; defined: {self.names()}"
             )
-        version = self._store.num_points()
+        version = self._store.version
         cached = self._cache.get(name)
         if cached is not None and cached[0] == version:
             return cached[1]
@@ -74,7 +84,7 @@ class RollupCatalog:
         """True when the rollup is materialised and current."""
         cached = self._cache.get(name)
         return (cached is not None
-                and cached[0] == self._store.num_points())
+                and cached[0] == self._store.version)
 
     def _materialise(self, spec: RollupSpec) -> Table:
         query = ScanQuery(
@@ -83,15 +93,18 @@ class RollupCatalog:
             downsample=Downsampler(spec.interval, spec.agg),
         )
         result = query.run(self._store)
-        rows = []
-        for series, (ts_arr, values) in result.columns.items():
-            tags = series.tag_map()
-            for t, v in zip(ts_arr.tolist(), values.tolist()):
-                rows.append((int(t), series.name, tags, float(v)))
-        rows.sort(key=lambda r: (r[0], r[1]))
-        return Table(["timestamp", "metric_name", "tag", "value"], rows)
+        return observations_to_table(
+            (series, ts, vals)
+            for series, (ts, vals) in result.columns.items())
 
     def register_all(self, db) -> None:
-        """Expose every rollup as a lazily-materialised SQL table."""
+        """Expose every rollup as a lazily-materialised SQL table.
+
+        Providers are keyed on the store version, so a query after a
+        store mutation sees the refreshed rollup (the catalog's own
+        cache keeps the refresh cheap when nothing changed).
+        """
         for name in self.names():
-            db.register_provider(name, lambda n=name: self.table(n))
+            db.register_versioned_provider(
+                name, lambda n=name: self.table(n),
+                lambda: self._store.version)

@@ -1,10 +1,22 @@
 """Columnar in-memory time series store with inverted tag indexes.
 
-The store keeps one dense column pair (timestamps, values) per series and
-maintains two inverted indexes — metric name -> series ids and
-``(tag key, tag value)`` -> series ids — so that scans touch only matching
-series.  This mirrors how OpenTSDB resolves a metric + tag filter to a set
-of row keys before reading data.
+The store keeps one chunked numpy column pair (timestamps, values) per
+series (:class:`~repro.tsdb.model.SeriesData`) and maintains inverted
+indexes — metric name -> series ids, ``(tag key, tag value)`` -> series
+ids, and tag key -> observed values — so that scans touch only matching
+series and tag enumeration is a dict lookup.  This mirrors how OpenTSDB
+resolves a metric + tag filter to a set of row keys before reading data.
+
+Reads go through each series' cached consolidated view: ``arrays()``
+returns read-only slices located with ``searchsorted`` instead of
+rebuilding ndarrays from Python lists per call, and bulk ingest
+(``insert_array``/``merge``) lands whole numpy chunks in one operation.
+
+Every mutation bumps a monotonic :attr:`TimeSeriesStore.version`; rollup
+views, lazy SQL providers and any other derived cache key their
+freshness on it.  Unlike ``num_points()``, the version also moves when
+``apply`` rewrites values in place (fault injection), so value-mutating
+transforms invalidate caches correctly.
 """
 
 from __future__ import annotations
@@ -26,10 +38,30 @@ from repro.tsdb.model import (
 class TimeSeriesStore:
     """Mutable collection of time series with index-accelerated scans."""
 
+    @classmethod
+    def from_arrays(cls, series_arrays: Mapping[
+            SeriesId, tuple[Iterable[int], Iterable[float]]]
+    ) -> "TimeSeriesStore":
+        """Build a store from ``{series: (timestamps, values)}`` columns.
+
+        Every series lands through the bulk ``insert_array`` fast path —
+        the canonical way workload generators load simulated traces.
+        """
+        store = cls()
+        for series, (timestamps, values) in series_arrays.items():
+            store.insert_array(series, timestamps, values)
+        return store
+
     def __init__(self) -> None:
         self._data: dict[SeriesId, SeriesData] = {}
         self._by_name: dict[str, set[SeriesId]] = defaultdict(set)
         self._by_tag: dict[tuple[str, str], set[SeriesId]] = defaultdict(set)
+        #: secondary index: tag key -> set of observed values, so
+        #: ``tag_keys``/``tag_values`` never scan every (key, value) pair.
+        self._tag_values: dict[str, set[str]] = defaultdict(set)
+        self._version = 0
+        self._min_ts: int | None = None
+        self._max_ts: int | None = None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -38,12 +70,10 @@ class TimeSeriesStore:
         """Insert one observation; timestamps per series must be sorted."""
         column = self._data.get(series)
         if column is None:
-            column = SeriesData(series=series)
-            self._data[series] = column
-            self._by_name[series.name].add(series)
-            for pair in series.tags:
-                self._by_tag[pair].add(series)
+            column = self._register(series)
         column.append(timestamp, value)
+        self._observe(int(timestamp))
+        self._version += 1
 
     def insert_point(self, point: DataPoint) -> None:
         """Insert a :class:`DataPoint`."""
@@ -51,16 +81,45 @@ class TimeSeriesStore:
 
     def insert_array(self, series: SeriesId, timestamps: Iterable[int],
                      values: Iterable[float]) -> None:
-        """Bulk-insert a whole column pair for one series."""
-        ts_list = list(timestamps)
-        val_list = list(values)
-        if len(ts_list) != len(val_list):
-            raise SeriesFormatError(
-                f"timestamps ({len(ts_list)}) and values ({len(val_list)}) "
-                f"must have equal length for {series}"
-            )
-        for ts, val in zip(ts_list, val_list):
-            self.insert(series, int(ts), float(val))
+        """Bulk-insert a whole column pair for one series.
+
+        This is the columnar fast path: the pair is validated and sealed
+        as one numpy chunk instead of being appended point by point.
+        Empty input is a no-op (the series is not registered).
+        """
+        column = self._data.get(series)
+        fresh = column is None
+        if fresh:
+            column = SeriesData(series=series)
+        appended = column.extend(timestamps, values)
+        if appended == 0:
+            return
+        if fresh:
+            self._data[series] = column
+            self._index(series)
+        self._observe(column.min_timestamp, column.max_timestamp)
+        self._version += 1
+
+    def _register(self, series: SeriesId) -> SeriesData:
+        column = SeriesData(series=series)
+        self._data[series] = column
+        self._index(series)
+        return column
+
+    def _index(self, series: SeriesId) -> None:
+        self._by_name[series.name].add(series)
+        for key, value in series.tags:
+            self._by_tag[(key, value)].add(series)
+            self._tag_values[key].add(value)
+
+    def _observe(self, lo: int | None, hi: int | None = None) -> None:
+        if lo is None:
+            return
+        hi = lo if hi is None else hi
+        if self._min_ts is None or lo < self._min_ts:
+            self._min_ts = int(lo)
+        if self._max_ts is None or hi > self._max_ts:
+            self._max_ts = int(hi)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -70,6 +129,16 @@ class TimeSeriesStore:
 
     def __contains__(self, series: SeriesId) -> bool:
         return series in self._data
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Bumped by every ``insert``/``insert_array``/``apply``/``merge``
+        call that changes stored data; derived caches (rollups, lazy SQL
+        tables) key on it.
+        """
+        return self._version
 
     def num_points(self) -> int:
         """Total number of stored observations across all series."""
@@ -85,29 +154,23 @@ class TimeSeriesStore:
 
     def tag_keys(self) -> list[str]:
         """Sorted distinct tag keys seen across all series."""
-        return sorted({key for key, _ in self._by_tag})
+        return sorted(self._tag_values)
 
     def tag_values(self, key: str) -> list[str]:
         """Sorted distinct values observed for one tag key."""
-        return sorted({v for (k, v) in self._by_tag if k == key})
+        return sorted(self._tag_values.get(key, ()))
 
     def time_range(self) -> tuple[int, int]:
-        """(min, max) timestamp over the whole store.
+        """(min, max) timestamp over the whole store, in O(1).
 
-        Raises :class:`SeriesFormatError` on an empty store so callers never
+        Maintained incrementally at ingest time from each series' O(1)
+        min/max, so no column is scanned.  Raises
+        :class:`SeriesFormatError` on an empty store so callers never
         silently operate on a sentinel range.
         """
-        lo: int | None = None
-        hi: int | None = None
-        for column in self._data.values():
-            if not column.timestamps:
-                continue
-            first, last = column.timestamps[0], column.timestamps[-1]
-            lo = first if lo is None else min(lo, first)
-            hi = last if hi is None else max(hi, last)
-        if lo is None or hi is None:
+        if self._min_ts is None or self._max_ts is None:
             raise SeriesFormatError("store is empty; no time range")
-        return lo, hi
+        return self._min_ts, self._max_ts
 
     # ------------------------------------------------------------------
     # Scans
@@ -144,7 +207,7 @@ class TimeSeriesStore:
         return result
 
     def get(self, series: SeriesId) -> SeriesData:
-        """Return the raw column pair for a series id."""
+        """Return the chunked column pair for a series id."""
         try:
             return self._data[series]
         except KeyError:
@@ -155,29 +218,48 @@ class TimeSeriesStore:
                end: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(timestamps, values)`` numpy arrays clipped to a range.
 
-        The range is inclusive of ``start`` and exclusive of ``end``; either
-        bound may be ``None`` for an open end.
+        The range is inclusive of ``start`` and exclusive of ``end``;
+        either bound may be ``None`` for an open end.  The returned
+        arrays are read-only views of the series' cached consolidated
+        columns (no copy); the clip is two ``searchsorted`` probes on
+        the sorted timestamp column.
         """
-        column = self.get(series)
-        ts = np.asarray(column.timestamps, dtype=np.int64)
-        values = np.asarray(column.values, dtype=np.float64)
-        if start is not None:
-            keep = ts >= start
-            ts, values = ts[keep], values[keep]
-        if end is not None:
-            keep = ts < end
-            ts, values = ts[keep], values[keep]
+        ts, values = self.get(series).arrays()
+        if start is not None or end is not None:
+            lo = int(np.searchsorted(ts, start, side="left")) \
+                if start is not None else 0
+            hi = int(np.searchsorted(ts, end, side="left")) \
+                if end is not None else ts.size
+            ts, values = ts[lo:hi], values[lo:hi]
         return ts, values
+
+    def iter_arrays(self, series_ids: Iterable[SeriesId] | None = None,
+                    start: int | None = None,
+                    end: int | None = None
+                    ) -> Iterator[tuple[SeriesId, np.ndarray, np.ndarray]]:
+        """Yield ``(series, timestamps, values)`` column triples.
+
+        The bulk read path: one cached-view slice per series, no
+        per-point object allocation.  Prefer this over
+        :meth:`iter_points` wherever whole columns are consumed.
+        """
+        ids = list(series_ids) if series_ids is not None else self.series_ids()
+        for series in ids:
+            ts, values = self.arrays(series, start, end)
+            yield series, ts, values
 
     def iter_points(self, series_ids: Iterable[SeriesId] | None = None,
                     start: int | None = None,
                     end: int | None = None) -> Iterator[DataPoint]:
-        """Yield data points across series, in per-series time order."""
-        ids = list(series_ids) if series_ids is not None else self.series_ids()
-        for series in ids:
-            ts, values = self.arrays(series, start, end)
+        """Yield data points across series, in per-series time order.
+
+        Streams from the cached consolidated views; each yielded point
+        is still one :class:`DataPoint` (the point-at-a-time API) — use
+        :meth:`iter_arrays` for allocation-free bulk consumption.
+        """
+        for series, ts, values in self.iter_arrays(series_ids, start, end):
             for t, v in zip(ts.tolist(), values.tolist()):
-                yield DataPoint(series=series, timestamp=int(t), value=float(v))
+                yield DataPoint(series=series, timestamp=t, value=v)
 
     # ------------------------------------------------------------------
     # Mutation helpers used by the fault-injection workloads
@@ -187,21 +269,29 @@ class TimeSeriesStore:
         """Replace a series' values with ``transform(timestamps, values)``.
 
         The transform must return an array of the same length; this is how
-        fault injectors overlay faults on clean generated traces.
+        fault injectors overlay faults on clean generated traces.  The
+        transform receives a writable copy of the values (the stored
+        column is immutable), and the swap bumps :attr:`version` so
+        caches keyed on it refresh even though ``num_points()`` is
+        unchanged.
         """
         column = self.get(series)
-        ts = np.asarray(column.timestamps, dtype=np.int64)
-        values = np.asarray(column.values, dtype=np.float64)
-        new_values = np.asarray(transform(ts, values), dtype=np.float64)
+        ts, values = column.arrays()
+        new_values = np.asarray(transform(ts, values.copy()),
+                                dtype=np.float64)
         if new_values.shape != values.shape:
             raise SeriesFormatError(
                 f"transform changed length of {series}: "
                 f"{values.shape} -> {new_values.shape}"
             )
-        column.values = new_values.tolist()
+        column.replace_values(new_values)
+        self._version += 1
 
     def merge(self, other: "TimeSeriesStore") -> None:
-        """Merge another store's contents into this one."""
-        for series in other.series_ids():
-            column = other.get(series)
-            self.insert_array(series, column.timestamps, column.values)
+        """Merge another store's contents into this one.
+
+        Each incoming series lands as one bulk chunk via the
+        ``insert_array`` fast path.
+        """
+        for series, ts, values in other.iter_arrays():
+            self.insert_array(series, ts, values)

@@ -274,10 +274,11 @@ class DataCenterModel:
         rng = np.random.default_rng(cfg.seed if seed is None else seed)
         values = self.scm.simulate(cfg.n_samples, rng,
                                    interventions=self._interventions)
-        store = TimeSeriesStore()
         timestamps = np.arange(cfg.n_samples)
-        for var, series_id in self.var_series.items():
-            store.insert_array(series_id, timestamps, values[var])
+        store = TimeSeriesStore.from_arrays({
+            series_id: (timestamps, values[var])
+            for var, series_id in self.var_series.items()
+        })
         return SimulationResult(store=store, values=values, scm=self.scm,
                                 var_series=self.var_series)
 

@@ -38,7 +38,6 @@ def figure1_pipeline(n_samples: int = 400, seed: int = 0
     scm.add_edge("runtime_sec", "fs_read_latency_ms", weight=0.10)
 
     values = scm.simulate(n_samples, np.random.default_rng(seed))
-    store = TimeSeriesStore()
     timestamps = np.arange(n_samples)
     series_map = {
         "events_per_sec": SeriesId.make("input_rate", {"type": "event-1"}),
@@ -51,6 +50,8 @@ def figure1_pipeline(n_samples: int = 400, seed: int = 0
         "fs_write_latency_ms": SeriesId.make(
             "disk", {"host": "datanode-1", "type": "write_latency"}),
     }
-    for var, series in series_map.items():
-        store.insert_array(series, timestamps, values[var])
+    store = TimeSeriesStore.from_arrays({
+        series: (timestamps, values[var])
+        for var, series in series_map.items()
+    })
     return store, scm.dag

@@ -124,6 +124,18 @@ class TestPlanBatches:
         assert np.array_equal(scores, expected)
 
 
+def _mixed_shape_families(rng, widths=(2, 2, 2, 3), n_samples=40):
+    """Families sharing one target but with differing feature counts."""
+    target = rng.standard_normal(n_samples)
+    grid = np.arange(n_samples)
+    fams = [FeatureFamily("target", target[:, None], ["t:0"], grid)]
+    for i, width in enumerate(widths):
+        fams.append(FeatureFamily(
+            f"fam_{i}", rng.standard_normal((n_samples, width)),
+            [f"fam_{i}:{j}" for j in range(width)], grid))
+    return FamilySet(fams)
+
+
 class TestAttributedTimings:
     def test_batch_scorer_timings_flagged_as_attributed(self, rng):
         hypotheses = generate_hypotheses(_families(rng), "target")
@@ -132,6 +144,27 @@ class TestAttributedTimings:
         assert attributed.all()
         # Equal shares within one group.
         assert np.all(seconds == seconds[0])
+
+    def test_shape_groups_timed_individually(self, rng):
+        """Per-shape-group attribution: one measured wall time per
+        stacked call, equal shares only *within* a shape group."""
+        hypotheses = generate_hypotheses(
+            _mixed_shape_families(rng), "target")
+        widths = [h.x.matrix.shape[1] for h in hypotheses]
+        scorer = get_scorer("L2")
+        scores, seconds, attributed = execute_batches(hypotheses, scorer)
+        wide = [i for i, w in enumerate(widths) if w == 3]
+        narrow = [i for i, w in enumerate(widths) if w == 2]
+        assert len(wide) == 1 and len(narrow) == 3
+        # The singleton shape group is individually measured.
+        assert not attributed[wide[0]]
+        # The 3-member group shares one measured elapsed time.
+        assert attributed[narrow].all()
+        assert np.all(seconds[narrow] == seconds[narrow[0]])
+        # Scores stay bitwise identical to the sequential path.
+        expected = np.array([scorer.score(*h.matrices())
+                             for h in hypotheses])
+        assert np.array_equal(scores, expected)
 
     def test_fallback_scorer_timings_are_measured(self, rng):
         hypotheses = generate_hypotheses(_families(rng), "target")
