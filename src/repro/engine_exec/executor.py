@@ -156,7 +156,32 @@ def _score_from_refs(scorer: Scorer,
 
 
 class HypothesisExecutor:
-    """Schedules hypothesis scoring across a worker pool or batch planner."""
+    """Schedules hypothesis scoring across a worker pool or batch planner.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size for the ``"thread"``/``"process"`` backends (ignored
+        by ``"batch"``, which runs stacked numpy calls in-process).
+    measure_serialization:
+        When True, wrap matrix transfers in
+        :class:`~repro.engine_exec.accounting.SerializationAccounting`
+        so the report carries bytes-moved and serialise/score shares —
+        the §6.2 overhead measurement.  Adds a real round-trip cost
+        under ``transfer="pickle"``; leave False outside benchmarks.
+    backend:
+        One of :data:`BACKENDS`.  All backends produce bitwise-identical
+        Score Tables; they differ only in scheduling (see the module
+        docstring).  ``"batch"`` timings are equal shares of each
+        stacked call, flagged via ``HypothesisTiming.attributed``.
+    transfer:
+        Matrix transport for ``backend="process"``: ``"shm"`` places
+        each batch group's (Y, Z, stacked X) into one shared-memory
+        segment and ships tiny :class:`~repro.engine_exec.shm.MatrixRef`
+        handles; ``"pickle"`` serialises full matrices per hypothesis.
+        Ignored by the other backends (the CLI warns on that
+        combination; this constructor only validates the value).
+    """
 
     def __init__(self, n_workers: int = 4,
                  measure_serialization: bool = False,

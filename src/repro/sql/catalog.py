@@ -22,9 +22,16 @@ TableProvider = Callable[[], Table]
 
 
 class Database:
-    """A catalog of named tables plus UDFs, with a ``sql()`` entry point."""
+    """A catalog of named tables plus UDFs, with a ``sql()`` entry point.
 
-    def __init__(self, optimize_queries: bool = True) -> None:
+    ``columnar=False`` disables the vectorized execution tier and runs
+    every query through the row-at-a-time reference interpreter; the
+    parity tests and ``benchmarks/bench_sql_columnar.py`` use it as the
+    baseline the fast path must match bit for bit.
+    """
+
+    def __init__(self, optimize_queries: bool = True,
+                 columnar: bool = True) -> None:
         self._tables: dict[str, Table] = {}
         self._providers: dict[str, TableProvider] = {}
         self._versioned: dict[str, tuple[TableProvider,
@@ -32,6 +39,7 @@ class Database:
         self._version_cache: dict[str, tuple[Any, Table]] = {}
         self._udfs: dict[str, Callable[..., Any]] = {}
         self._optimize = optimize_queries
+        self._columnar = columnar
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -119,7 +127,7 @@ class Database:
 
     def execute_ast(self, stmt: Node) -> Table:
         """Execute an already-parsed statement."""
-        executor = Executor(self.table, self._udfs)
+        executor = Executor(self.table, self._udfs, columnar=self._columnar)
         return executor.execute(stmt)
 
     def create_temp_table(self, name: str, query: str) -> Table:

@@ -1,0 +1,855 @@
+"""Columnar SQL execution: numpy masks, vector selects, segmented aggregates.
+
+This module is the fast path :class:`~repro.sql.executor.Executor` tries
+first when a scan yields a column-backed relation (a table built with
+:meth:`~repro.sql.table.Table.from_columns`, e.g. the tsdb adapter's
+output).  Three entry points mirror the executor's stages:
+
+- :func:`try_filter` — compiles a WHERE tree to a three-valued-logic
+  pair of boolean masks (``true``, ``null``) over whole column vectors
+  and gathers every column once, instead of evaluating the expression
+  tree per row.
+- :func:`try_project` — compiles each SELECT item to a column vector;
+  bare column references are zero-copy views of the scanned data.
+- :func:`try_aggregate` — factorizes the GROUP BY keys into group
+  codes (numpy ``unique`` for a single numeric key, a first-occurrence
+  dict otherwise), stable-sorts rows by code, and reduces each aggregate
+  over the resulting segments (``reduceat`` for MIN/MAX, one numpy
+  reduction per segment for SUM/AVG, ``bincount`` for COUNT).
+
+Every entry point returns ``None`` when any part of the statement falls
+outside the compilable subset — the executor then runs its row-at-a-time
+interpreter, which remains the semantics reference.  The subset is
+chosen so results are *identical* to the row path (property-tested):
+numeric kernels perform the same IEEE operations in the same order the
+scalar evaluator would (``np.sum`` on a group slice is the row path's
+``np.sum`` on the same values), and anything without an exact vector
+counterpart — object-typed cells, LIKE, map subscripts — is evaluated
+element-wise through the very scalar functions of
+:mod:`repro.sql.semantics` that the row path calls.
+
+Known deliberate fallbacks: HAVING, DISTINCT aggregates, window
+functions, joins (filters still vectorize beneath a join via predicate
+pushdown), ORDER BY in plain selects, MIN/MAX over columns containing
+NaN (Python's builtin ``min`` is order-dependent there), and ``||``
+string concatenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.sql.errors import ExecutionError, SchemaError
+from repro.sql.functions import SEGMENTED_AGGREGATES, is_aggregate
+from repro.sql.nodes import (
+    Between,
+    BinaryOp,
+    Case,
+    Cast,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Node,
+    Select,
+    Star,
+    Subscript,
+    UnaryOp,
+    walk,
+)
+from repro.sql.semantics import (
+    like_to_predicate,
+    sql_arith,
+    sql_cast,
+    sql_compare,
+)
+from repro.sql.table import Table, _column_cells, _hashable_row
+
+
+class _Ineligible(Exception):
+    """Internal: the expression/statement is outside the columnar subset."""
+
+
+#: Exceptions that route a statement back to the row interpreter.  The
+#: row path is authoritative for errors too: it may raise the same
+#: error, or legitimately avoid it (short-circuits, empty inputs).
+#: TypeError/OverflowError cover numpy dtype edges (e.g. an out-of-
+#: int64-range literal) whose Python-scalar behaviour differs.
+_FALLBACK = (_Ineligible, SchemaError, ExecutionError, TypeError,
+             OverflowError)
+
+_NUMERIC_KINDS = frozenset("iufb")
+
+_NP_COMPARE: dict[str, Callable] = {
+    "=": np.equal,
+    "<>": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+_COLUMNAR_AGGREGATES = frozenset({"COUNT", "SUM", "MIN", "MAX", "AVG"})
+
+
+# ---------------------------------------------------------------------------
+# Compiled values: a column vector (with an optional NULL mask) or a constant
+# ---------------------------------------------------------------------------
+@dataclass
+class _Val:
+    """A compiled value expression over the whole relation.
+
+    Either a constant (``const`` holds the Python value, ``data`` is
+    None) or a vector: ``data`` is a numpy array of length ``ctx.n`` and
+    ``null`` marks SQL-NULL positions (None meaning "no NULLs").  NaN is
+    *not* NULL — it is a float value, exactly as in the row evaluator.
+    """
+
+    data: np.ndarray | None = None
+    null: np.ndarray | None = None
+    const: Any = None
+
+    @property
+    def is_const(self) -> bool:
+        return self.data is None
+
+
+class _Ctx:
+    """Per-statement compile context: the relation + per-column caches."""
+
+    def __init__(self, relation) -> None:
+        self.relation = relation
+        self.n = len(relation)
+        self._null_cache: dict[int, np.ndarray | None] = {}
+
+    def column(self, ref: ColumnRef) -> _Val:
+        idx = self.relation.resolve(ref.name, ref.table)
+        return _Val(data=self.relation.coldata[idx], null=self.null_for(idx))
+
+    def null_for(self, idx: int) -> np.ndarray | None:
+        """NULL mask of one stored column (only object columns have one)."""
+        if idx not in self._null_cache:
+            col = self.relation.coldata[idx]
+            if col.dtype == object:
+                mask = np.fromiter((cell is None for cell in col),
+                                   dtype=bool, count=col.size)
+                self._null_cache[idx] = mask if mask.any() else None
+            else:
+                self._null_cache[idx] = None
+        return self._null_cache[idx]
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros(self.n, dtype=bool)
+
+    def ones(self) -> np.ndarray:
+        return np.ones(self.n, dtype=bool)
+
+
+def _merge_null(a: np.ndarray | None, b: np.ndarray | None
+                ) -> np.ndarray | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a | b
+
+
+def _cells(val: _Val, ctx: _Ctx) -> list:
+    """The value as Python cells — identical to what ``.rows`` would hold."""
+    if val.is_const:
+        return [val.const] * ctx.n
+    return _column_cells(val.data)
+
+
+# ---------------------------------------------------------------------------
+# Value compiler
+# ---------------------------------------------------------------------------
+def _compile_value(expr: Node, ctx: _Ctx) -> _Val:
+    if isinstance(expr, Literal):
+        return _Val(const=expr.value)
+    if isinstance(expr, ColumnRef):
+        return ctx.column(expr)
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        val = _compile_value(expr.operand, ctx)
+        if val.is_const:
+            if val.const is None:
+                return _Val(const=None)
+            try:
+                return _Val(const=-val.const)
+            except TypeError:
+                raise _Ineligible from None
+        # Bools negate to ints in Python but not in numpy; unsigned
+        # and INT64_MIN negations wrap.  All go to the row path.
+        if val.data.dtype.kind not in "if":
+            raise _Ineligible
+        if val.data.dtype.kind == "i" and \
+                _abs_bound(val.data) >= 2 ** 63:
+            raise _Ineligible
+        return _Val(data=-val.data, null=val.null)
+    if isinstance(expr, BinaryOp) and expr.op in ("+", "-", "*", "/", "%"):
+        return _compile_arith(expr, ctx)
+    if isinstance(expr, Subscript):
+        return _compile_subscript(expr, ctx)
+    if isinstance(expr, Cast):
+        val = _compile_value(expr.expr, ctx)
+        if val.is_const:
+            return _Val(const=sql_cast(val.const, expr.type_name))
+        out = np.empty(ctx.n, dtype=object)
+        null = ctx.zeros()
+        for i, cell in enumerate(_cells(val, ctx)):
+            cast = sql_cast(cell, expr.type_name)
+            out[i] = cast
+            if cast is None:
+                null[i] = True
+        return _Val(data=out, null=null if null.any() else None)
+    raise _Ineligible
+
+
+def _numeric_operand(val: _Val, allow_bool: bool = True
+                     ) -> tuple[Any, np.ndarray | None] | None:
+    """The value as a numpy-arithmetic operand, or None if non-numeric.
+
+    ``allow_bool=False`` rejects boolean operands: comparisons treat
+    True as 1 exactly like Python, but numpy *arithmetic* on bool
+    arrays is logical (True+True is True, not 2), so arithmetic sends
+    bools to the row path.  Unsigned columns are rejected outright —
+    numpy wraps them on negation/subtraction and promotes uint64/int64
+    mixes to float64, neither of which Python int semantics do.
+    """
+    kinds = frozenset("ifb") if allow_bool else frozenset("if")
+    if val.is_const:
+        if isinstance(val.const, bool):
+            return (val.const, None) if allow_bool else None
+        if isinstance(val.const, (int, float, np.number)):
+            return val.const, None
+        return None
+    if val.data.dtype.kind in kinds:
+        return val.data, val.null
+    return None
+
+
+def _abs_bound(operand: Any) -> int:
+    """Largest absolute value an operand can contribute (exact ints)."""
+    if isinstance(operand, np.ndarray):
+        if operand.size == 0:
+            return 0
+        return max(abs(int(operand.max())), abs(int(operand.min())))
+    return abs(int(operand))
+
+
+def _is_int_operand(operand: Any) -> bool:
+    if isinstance(operand, np.ndarray):
+        return operand.dtype.kind == "i"
+    return isinstance(operand, int) and not isinstance(operand, bool)
+
+
+def _int_arith_in_range(op: str, l_data: Any, r_data: Any) -> bool:
+    """True when integer arithmetic provably cannot leave int64.
+
+    numpy int64 wraps silently where Python promotes to arbitrary
+    precision; anything that could overflow (including the
+    ``INT64_MIN % -1`` quotient edge) must take the row path.
+    """
+    limit = 2 ** 63 - 1
+    lo, hi = _abs_bound(l_data), _abs_bound(r_data)
+    if op in ("+", "-"):
+        return lo + hi <= limit
+    if op == "*":
+        return lo * hi <= limit
+    return lo <= limit and hi <= limit     # "%": result bounded by divisor
+
+
+def _compile_arith(expr: BinaryOp, ctx: _Ctx) -> _Val:
+    left = _compile_value(expr.left, ctx)
+    right = _compile_value(expr.right, ctx)
+    if left.is_const and right.is_const:
+        return _Val(const=sql_arith(expr.op, left.const, right.const))
+    if (left.is_const and left.const is None) or (
+            right.is_const and right.const is None):
+        return _Val(const=None)
+    l_num = _numeric_operand(left, allow_bool=False)
+    r_num = _numeric_operand(right, allow_bool=False)
+    if l_num is None or r_num is None:
+        raise _Ineligible      # strings, maps, bools, mixed types: row path
+    (l_data, l_null), (r_data, r_null) = l_num, r_num
+    l_int = _is_int_operand(l_data)
+    r_int = _is_int_operand(r_data)
+    if l_int and r_int:
+        if expr.op == "/":
+            # np.true_divide rounds each int to float64 *before*
+            # dividing; Python's int/int is correctly rounded.  Exact
+            # only while both operands are float64-representable.
+            if max(_abs_bound(l_data), _abs_bound(r_data)) > 2 ** 53:
+                raise _Ineligible
+        elif not _int_arith_in_range(expr.op, l_data, r_data):
+            raise _Ineligible
+    elif l_int or r_int:
+        # int-vs-float arithmetic promotes the int side to float64;
+        # match Python's exact conversion only below 2^53.
+        int_side = l_data if l_int else r_data
+        if _abs_bound(int_side) > 2 ** 53:
+            raise _Ineligible
+    null = _merge_null(l_null, r_null)
+    if expr.op in ("/", "%"):
+        # The scalar semantics yield NULL on a zero divisor.
+        if right.is_const and r_data == 0:
+            return _Val(const=None)
+        if not right.is_const:
+            zero = r_data == 0
+            if zero.any():
+                null = _merge_null(null, zero)
+    op = {"+": np.add, "-": np.subtract, "*": np.multiply,
+          "/": np.true_divide, "%": np.remainder}[expr.op]
+    with np.errstate(all="ignore"):
+        data = op(l_data, r_data)
+    if not isinstance(data, np.ndarray):         # const (+) const fold
+        data = np.full(ctx.n, data)
+    return _Val(data=data, null=null)
+
+
+def _compile_subscript(expr: Subscript, ctx: _Ctx) -> _Val:
+    """``tag['host']``-style map/list access, element-wise."""
+    base = _compile_value(expr.base, ctx)
+    index = _compile_value(expr.index, ctx)
+    if not index.is_const:
+        raise _Ineligible
+    key = index.const
+    out = np.empty(ctx.n, dtype=object)
+    null = ctx.zeros()
+    for i, cell in enumerate(_cells(base, ctx)):
+        if cell is None:
+            value = None
+        elif isinstance(cell, dict):
+            value = cell.get(key)
+        elif isinstance(cell, (list, tuple)):
+            j = int(key)
+            value = cell[j] if -len(cell) <= j < len(cell) else None
+        else:
+            raise _Ineligible        # row path raises ExecutionError
+        out[i] = value
+        if value is None:
+            null[i] = True
+    return _Val(data=out, null=null if null.any() else None)
+
+
+# ---------------------------------------------------------------------------
+# Boolean (mask) compiler: three-valued logic as (true, null) mask pairs
+# ---------------------------------------------------------------------------
+def _compile_bool(expr: Node, ctx: _Ctx) -> tuple[np.ndarray, np.ndarray]:
+    if isinstance(expr, Literal):
+        if expr.value is True:
+            return ctx.ones(), ctx.zeros()
+        if expr.value is False:
+            return ctx.zeros(), ctx.zeros()
+        if expr.value is None:
+            return ctx.zeros(), ctx.ones()
+        raise _Ineligible            # non-boolean literal truthiness
+    if isinstance(expr, ColumnRef):
+        val = ctx.column(expr)
+        if val.data.dtype.kind != "b":
+            raise _Ineligible
+        return val.data.astype(bool, copy=False), ctx.zeros()
+    if isinstance(expr, BinaryOp):
+        if expr.op == "AND":
+            lt, ln = _compile_bool(expr.left, ctx)
+            rt, rn = _compile_bool(expr.right, ctx)
+            false = (~lt & ~ln) | (~rt & ~rn)
+            true = lt & rt
+            return true, ~(false | true)
+        if expr.op == "OR":
+            lt, ln = _compile_bool(expr.left, ctx)
+            rt, rn = _compile_bool(expr.right, ctx)
+            true = lt | rt
+            false = (~lt & ~ln) & (~rt & ~rn)
+            return true, ~(false | true)
+        if expr.op in _NP_COMPARE:
+            return _compile_compare(
+                expr.op, _compile_value(expr.left, ctx),
+                _compile_value(expr.right, ctx), ctx)
+        raise _Ineligible
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        t, n = _compile_bool(expr.operand, ctx)
+        return ~t & ~n, n
+    if isinstance(expr, Between):
+        value = _compile_value(expr.expr, ctx)
+        low_t, low_n = _compile_compare(
+            ">=", value, _compile_value(expr.low, ctx), ctx)
+        high_t, high_n = _compile_compare(
+            "<=", value, _compile_value(expr.high, ctx), ctx)
+        false = (~low_t & ~low_n) | (~high_t & ~high_n)
+        true = low_t & high_t
+        null = ~(false | true)
+        if expr.negated:
+            return false, null
+        return true, null
+    if isinstance(expr, InList):
+        return _compile_in_list(expr, ctx)
+    if isinstance(expr, Like):
+        return _compile_like(expr, ctx)
+    if isinstance(expr, IsNull):
+        val = _compile_value(expr.expr, ctx)
+        if val.is_const:
+            is_null = ctx.ones() if val.const is None else ctx.zeros()
+        elif val.null is None:
+            is_null = ctx.zeros()
+        else:
+            is_null = val.null.copy()
+        return (~is_null if expr.negated else is_null), ctx.zeros()
+    raise _Ineligible
+
+
+def _compile_compare(op: str, left: _Val, right: _Val, ctx: _Ctx
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    if left.is_const and right.is_const:
+        result = sql_compare(op, left.const, right.const)
+        if result is None:
+            return ctx.zeros(), ctx.ones()
+        return (ctx.ones() if result else ctx.zeros()), ctx.zeros()
+    if (left.is_const and left.const is None) or (
+            right.is_const and right.const is None):
+        return ctx.zeros(), ctx.ones()
+
+    l_num = _numeric_operand(left)
+    r_num = _numeric_operand(right)
+    if l_num is not None and r_num is not None:
+        (l_data, l_null), (r_data, r_null) = l_num, r_num
+        l_int, r_int = _is_int_operand(l_data), _is_int_operand(r_data)
+        if l_int != r_int:
+            # Mixed int/float comparison: numpy promotes the int side
+            # to float64; Python compares exactly.  Only safe while
+            # the int side is float64-representable.
+            int_side = l_data if l_int else r_data
+            if _abs_bound(int_side) > 2 ** 53:
+                raise _Ineligible
+        null = _merge_null(l_null, r_null)
+        with np.errstate(invalid="ignore"):
+            cmp = _NP_COMPARE[op](l_data, r_data)
+        if null is None:
+            return cmp, ctx.zeros()
+        return cmp & ~null, null
+
+    l_str = _string_operand(left)
+    r_str = _string_operand(right)
+    if l_str is not None and r_str is not None:
+        cmp = _NP_COMPARE[op](l_str, r_str)
+        if not isinstance(cmp, np.ndarray):
+            cmp = np.full(ctx.n, bool(cmp))
+        return cmp, ctx.zeros()
+
+    if op in ("=", "<>"):
+        # Equality never raises, so numpy's elementwise object compare
+        # (a C loop over __eq__) is safe and matches the scalar path.
+        null = _merge_null(
+            None if left.is_const else left.null,
+            None if right.is_const else right.null)
+        l_op = left.const if left.is_const else left.data
+        r_op = right.const if right.is_const else right.data
+        for operand in (l_op, r_op):
+            if isinstance(operand, np.ndarray) \
+                    and operand.dtype.kind == "u":
+                raise _Ineligible    # uint mixes promote to float64
+        try:
+            raw = (l_op == r_op) if op == "=" else (l_op != r_op)
+            raw = np.asarray(raw, dtype=bool)
+        except Exception:
+            raise _Ineligible from None
+        if raw.ndim == 0:            # incomparable types collapse to a scalar
+            raw = np.full(ctx.n, bool(raw))
+        if null is None:
+            return raw, ctx.zeros()
+        return raw & ~null, null
+
+    # Mixed/object ordering: element-wise through the scalar semantics.
+    true = ctx.zeros()
+    null = ctx.zeros()
+    for i, (a, b) in enumerate(zip(_cells(left, ctx), _cells(right, ctx))):
+        result = sql_compare(op, a, b)
+        if result is None:
+            null[i] = True
+        elif result:
+            true[i] = True
+    return true, null
+
+
+def _string_operand(val: _Val) -> Any | None:
+    """The value as a numpy-string comparison operand, or None."""
+    if val.is_const:
+        return val.const if isinstance(val.const, str) else None
+    if val.data.dtype.kind == "U":
+        return val.data
+    return None
+
+
+def _compile_in_list(expr: InList, ctx: _Ctx
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    value = _compile_value(expr.expr, ctx)
+    if not all(isinstance(item, Literal) for item in expr.items):
+        raise _Ineligible
+    literals = [item.value for item in expr.items]
+    saw_null = any(v is None for v in literals)
+    if value.is_const and value.const is None:
+        return ctx.zeros(), ctx.ones()
+    found = ctx.zeros()
+    value_null = ctx.zeros()
+    for lit in literals:
+        if lit is None:
+            continue
+        t, n = _compile_compare("=", value, _Val(const=lit), ctx)
+        found |= t
+        value_null |= n
+    if not literals or all(v is None for v in literals):
+        # No comparisons ran; NULL-ness of the value still matters.
+        if not value.is_const and value.null is not None:
+            value_null |= value.null
+    not_found = ~found & ~value_null
+    null = value_null | (not_found & saw_null)
+    if expr.negated:
+        return not_found & ~null, null
+    return found, null
+
+
+def _compile_like(expr: Like, ctx: _Ctx) -> tuple[np.ndarray, np.ndarray]:
+    value = _compile_value(expr.expr, ctx)
+    pattern = _compile_value(expr.pattern, ctx)
+    if not pattern.is_const:
+        raise _Ineligible
+    if pattern.const is None or (value.is_const and value.const is None):
+        return ctx.zeros(), ctx.ones()
+    predicate = like_to_predicate(str(pattern.const))
+    true = ctx.zeros()
+    null = ctx.zeros()
+    for i, cell in enumerate(_cells(value, ctx)):
+        if cell is None:
+            null[i] = True
+        elif predicate(str(cell)):
+            true[i] = True
+    if expr.negated:
+        return ~true & ~null, null
+    return true, null
+
+
+# ---------------------------------------------------------------------------
+# Executor entry points
+# ---------------------------------------------------------------------------
+def try_filter(relation, where: Node):
+    """Vectorize a WHERE clause; returns a filtered relation or None.
+
+    Rows are kept where the compiled predicate is *true* (NULL and false
+    both drop the row, per SQL).  On any ineligible construct — or a
+    schema/type error, which the row path must surface (or legitimately
+    avoid via short-circuiting) — returns None.
+    """
+    from repro.sql.executor import _Relation
+
+    try:
+        ctx = _Ctx(relation)
+        true, _ = _compile_bool(where, ctx)
+    except _FALLBACK:
+        return None
+    return _Relation(relation.columns,
+                     coldata=[col[true] for col in relation.coldata])
+
+
+def try_project(stmt: Select, relation):
+    """Columnar plain SELECT; returns the result Table or None.
+
+    Bare column references are zero-copy vector selects; value
+    expressions (arithmetic, CAST, subscripts) compile to vectors.
+    ORDER BY, window functions, and scalar function calls fall back.
+    """
+    from repro.sql.executor import Executor
+
+    if stmt.order_by:
+        return None
+    try:
+        ctx = _Ctx(relation)
+        items = Executor._expand_stars(stmt.items, relation)
+        values = [_compile_value(item.expr, ctx) for item in items]
+    except _FALLBACK:
+        return None
+    columns = Executor._dedupe_columns(
+        [Executor._output_name(item, idx) for idx, item in enumerate(items)]
+    )
+    return Table.from_columns(
+        columns, [_val_to_vector(val, ctx) for val in values])
+
+
+def _val_to_vector(val: _Val, ctx: _Ctx) -> np.ndarray:
+    """One compiled value as an output column vector.
+
+    NULL-free vectors pass through as-is (views, not copies); vectors
+    with NULLs are rebuilt as object arrays holding None exactly where
+    the row evaluator would have produced it.
+    """
+    if val.is_const:
+        out = np.empty(ctx.n, dtype=object)
+        out.fill(val.const)
+        return out
+    if val.null is None or not val.null.any():
+        return val.data
+    out = np.empty(ctx.n, dtype=object)
+    for i, cell in enumerate(_cells(val, ctx)):
+        out[i] = None if val.null[i] else cell
+    return out
+
+
+def try_aggregate(stmt: Select, relation):
+    """Columnar GROUP BY + aggregates; returns the result Table or None.
+
+    Groups appear in first-occurrence order — the row path's dict
+    insertion order — and each supported aggregate reduces over the
+    group's rows in their original order, so outputs match the row
+    interpreter exactly.
+    """
+    from repro.sql.executor import Executor, _Reversed, _SortKey
+
+    if stmt.having is not None:
+        return None
+    try:
+        ctx = _Ctx(relation)
+        plan = _plan_aggregate(stmt, ctx)
+    except _FALLBACK:
+        return None
+    columns = Executor._dedupe_columns(
+        [Executor._output_name(item, idx)
+         for idx, item in enumerate(stmt.items)]
+    )
+    order_idx: list[tuple[int, bool]] = []
+    for item in stmt.order_by:
+        expr = item.expr
+        if not isinstance(expr, ColumnRef):
+            return None
+        lowered = expr.name.lower()
+        matches = [i for i, c in enumerate(columns) if c.lower() == lowered]
+        if not matches:
+            return None
+        order_idx.append((matches[0], item.ascending))
+
+    try:
+        vectors = _compute_aggregate(plan, ctx, stmt)
+    except _FALLBACK:
+        return None
+    if vectors is None:                          # empty global group
+        row = tuple(_empty_group_cell(entry) for entry in plan)
+        return Table(columns, [row])
+    if not order_idx:
+        return Table.from_columns(columns, vectors)
+    cells = [_column_cells(v) for v in vectors]
+    rows = list(zip(*cells)) if cells else []
+    permutation = sorted(
+        range(len(rows)),
+        key=lambda i: tuple(
+            _SortKey(rows[i][idx]) if asc else _Reversed(_SortKey(rows[i][idx]))
+            for idx, asc in order_idx
+        ),
+    )
+    return Table(columns, [rows[i] for i in permutation])
+
+
+def _plan_aggregate(stmt: Select, ctx: _Ctx) -> list[tuple]:
+    """Classify items into ('first', idx) / ('count*',) / ('agg', name, idx).
+
+    Raises :class:`_Ineligible` for anything outside the subset.
+    """
+    for expr in stmt.group_by:
+        if not isinstance(expr, ColumnRef):
+            raise _Ineligible
+    plan: list[tuple] = []
+    for item in stmt.items:
+        expr = item.expr
+        if isinstance(expr, Star):
+            raise _Ineligible        # row path raises; let it
+        if isinstance(expr, ColumnRef):
+            plan.append(("first", ctx.relation.resolve(expr.name, expr.table)))
+            continue
+        if isinstance(expr, FuncCall) and is_aggregate(expr.name):
+            if (expr.name not in _COLUMNAR_AGGREGATES or expr.distinct
+                    or expr.window is not None):
+                raise _Ineligible
+            if expr.name == "COUNT" and (
+                    not expr.args or isinstance(expr.args[0], Star)):
+                plan.append(("count*",))
+                continue
+            if len(expr.args) == 1 and isinstance(expr.args[0], ColumnRef):
+                arg = expr.args[0]
+                plan.append(
+                    ("agg", expr.name,
+                     ctx.relation.resolve(arg.name, arg.table)))
+                continue
+        raise _Ineligible
+    return plan
+
+
+def _empty_group_cell(entry: tuple) -> Any:
+    """The row-path value of one item over the empty global group."""
+    if entry[0] == "count*":
+        return 0
+    if entry[0] == "agg" and entry[1] == "COUNT":
+        return 0
+    return None                      # SUM/MIN/MAX/AVG of nothing, or a column
+
+
+def _compute_aggregate(plan: list[tuple], ctx: _Ctx, stmt: Select
+                       ) -> list[np.ndarray] | None:
+    n = ctx.n
+    if not stmt.group_by and n == 0:
+        return None                              # one empty global group
+    if stmt.group_by and n == 0:
+        return [np.empty(0, dtype=object) for _ in plan]
+
+    key_idx = [ctx.relation.resolve(e.name, e.table) for e in stmt.group_by]
+    codes, n_groups = _group_codes(key_idx, ctx)
+    order = np.argsort(codes, kind="stable")
+    counts = np.bincount(codes, minlength=n_groups)
+    starts = np.zeros(n_groups, dtype=np.intp)
+    np.cumsum(counts[:-1], out=starts[1:])
+    ends = starts + counts
+    first_rows = order[starts]
+
+    vectors: list[np.ndarray] = []
+    for entry in plan:
+        if entry[0] == "first":
+            vectors.append(ctx.relation.coldata[entry[1]][first_rows])
+        elif entry[0] == "count*":
+            vectors.append(counts.astype(np.int64))
+        else:
+            _, name, idx = entry
+            vectors.append(_reduce_column(
+                name, idx, ctx, order, starts, ends, counts))
+    return vectors
+
+
+def _group_codes(key_idx: list[int], ctx: _Ctx) -> tuple[np.ndarray, int]:
+    """First-occurrence-ordered group codes for the key columns."""
+    n = ctx.n
+    if not key_idx:
+        return np.zeros(n, dtype=np.intp), 1
+    if len(key_idx) == 1:
+        col = ctx.relation.coldata[key_idx[0]]
+        if col.dtype.kind in "iub" or (
+                col.dtype.kind == "f" and not np.isnan(col).any()):
+            # np.unique orders groups by value; remap to first-occurrence
+            # order, which is what the row path's dict iteration yields.
+            _, first, inverse = np.unique(
+                col, return_index=True, return_inverse=True)
+            rank = np.empty(first.size, dtype=np.intp)
+            rank[np.argsort(first, kind="stable")] = np.arange(first.size)
+            return rank[inverse.reshape(-1)], int(first.size)
+    # General path: Python dict keyed exactly like the row executor.
+    # (Scalar keys hash/compare the same bare or tuple-wrapped, so the
+    # single-key loop skips the tuple for speed.)
+    seen: dict = {}
+    codes = np.empty(n, dtype=np.intp)
+    if len(key_idx) == 1:
+        cells = _column_cells(ctx.relation.coldata[key_idx[0]])
+        for row_i, cell in enumerate(cells):
+            key = (cell if not isinstance(cell, (dict, list, tuple))
+                   else _hashable_row((cell,)))
+            code = seen.get(key)
+            if code is None:
+                code = len(seen)
+                seen[key] = code
+            codes[row_i] = code
+        return codes, len(seen)
+    key_cells = [_column_cells(ctx.relation.coldata[i]) for i in key_idx]
+    for row_i, key in enumerate(zip(*key_cells)):
+        hashable = _hashable_row(key)
+        code = seen.get(hashable)
+        if code is None:
+            code = len(seen)
+            seen[hashable] = code
+        codes[row_i] = code
+    return codes, len(seen)
+
+
+def _reduce_column(name: str, idx: int, ctx: _Ctx, order: np.ndarray,
+                   starts: np.ndarray, ends: np.ndarray,
+                   counts: np.ndarray) -> np.ndarray:
+    col = ctx.relation.coldata[idx]
+    numeric = col.dtype.kind in _NUMERIC_KINDS
+    if name == "COUNT":
+        if numeric:
+            return counts.astype(np.int64)       # NaN counts: it is not NULL
+        null = ctx.null_for(idx)
+        if null is None:
+            return counts.astype(np.int64)
+        null_per_group = np.add.reduceat(
+            null[order].astype(np.int64), starts)
+        return counts.astype(np.int64) - null_per_group
+    if not numeric:
+        raise _Ineligible
+    if name in ("MIN", "MAX") and col.dtype.kind == "f":
+        if np.isnan(col).any():
+            raise _Ineligible        # builtin min/max are order-dependent
+        zeros = col == 0.0
+        if zeros.any() and np.signbit(col[zeros]).any():
+            raise _Ineligible        # -0.0 vs 0.0: first-seen wins in rows
+    return SEGMENTED_AGGREGATES[name](col[order], starts, ends)
+
+
+# ---------------------------------------------------------------------------
+# Plan annotation support
+# ---------------------------------------------------------------------------
+def predicate_shape_eligible(expr: Node) -> bool:
+    """Static shape check: could this WHERE tree compile to masks?
+
+    Used by EXPLAIN to annotate filters; the actual compile also depends
+    on runtime column dtypes, so this is a necessary-but-not-sufficient
+    hint.
+    """
+    allowed_ops = set(_NP_COMPARE) | {"AND", "OR", "+", "-", "*", "/", "%"}
+    for node in walk(expr):
+        if isinstance(node, (ColumnRef, Literal, Between, IsNull, Subscript,
+                             Cast)):
+            continue
+        if isinstance(node, BinaryOp) and node.op in allowed_ops:
+            continue
+        if isinstance(node, UnaryOp) and node.op in ("NOT", "-"):
+            continue
+        if isinstance(node, InList):
+            if all(isinstance(item, Literal) for item in node.items):
+                continue
+            return False
+        if isinstance(node, Like):
+            if isinstance(node.pattern, Literal):
+                continue
+            return False
+        if isinstance(node, (FuncCall, Case, Star)):
+            return False
+        return False
+    return True
+
+
+def aggregate_shape_eligible(stmt: Select) -> bool:
+    """Static shape check for the segmented-aggregation path.
+
+    True when every GROUP BY key is a bare column and every item is a
+    key/column reference, ``COUNT(*)``, or a supported aggregate over
+    one column.  Like :func:`predicate_shape_eligible`, runtime dtypes
+    can still force the row path (e.g. MIN over an object column).
+    """
+    if stmt.having is not None:
+        return False
+    if not all(isinstance(e, ColumnRef) for e in stmt.group_by):
+        return False
+    for item in stmt.order_by:
+        if not isinstance(item.expr, ColumnRef):
+            return False
+    for item in stmt.items:
+        expr = item.expr
+        if isinstance(expr, ColumnRef):
+            continue
+        if isinstance(expr, FuncCall) and expr.name in _COLUMNAR_AGGREGATES \
+                and not expr.distinct and expr.window is None:
+            if expr.name == "COUNT" and (
+                    not expr.args or isinstance(expr.args[0], Star)):
+                continue
+            if len(expr.args) == 1 and isinstance(expr.args[0], ColumnRef):
+                continue
+        return False
+    return True

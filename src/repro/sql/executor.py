@@ -6,6 +6,17 @@ grouping with aggregates, HAVING, ordering, LIMIT/OFFSET, DISTINCT,
 hash equi-joins (inner / left / right / full outer) with residual
 predicates, cross joins, UNION (ALL), window functions, and subqueries in
 FROM.  NULL handling follows SQL three-valued logic.
+
+Execution is two-tier.  When the scanned table carries column vectors
+(:meth:`~repro.sql.table.Table.from_columns` — the tsdb adapter and
+rollup views build these), the executor first tries the columnar fast
+path of :mod:`repro.sql.columnar`: WHERE compiles to numpy boolean
+masks, projections become zero-copy vector selects, and GROUP BY
+aggregates run as segmented reductions.  Any statement (or stage) the
+columnar compiler cannot express raises ineligibility internally and
+falls back to the row-at-a-time interpreter below, which remains the
+semantics reference; the fast path is property-tested to produce
+bitwise-identical tables.
 """
 
 from __future__ import annotations
@@ -46,25 +57,69 @@ from repro.sql.nodes import (
     Union,
     walk,
 )
-from repro.sql.table import Table, _hashable_row
+from repro.sql.semantics import (
+    like_to_predicate as _like_to_predicate,
+    sql_and as _sql_and,
+    sql_or as _sql_or,
+    sql_arith as _sql_arith,
+    sql_cast as _cast,
+    sql_compare as _sql_compare,
+)
+from repro.sql.table import Table, _hashable_row, _column_cells
 
 
 class _Relation:
-    """Intermediate result: rows plus (qualifier, name) column metadata."""
+    """Intermediate result: rows plus (qualifier, name) column metadata.
+
+    A relation is either row-backed (``rows`` given) or column-backed
+    (``coldata`` given: one numpy vector per column).  Column-backed
+    relations come from scans of lazily-materialised columnar tables;
+    the columnar fast path filters and aggregates them without ever
+    building row tuples, while the row interpreter transparently
+    materialises ``.rows`` on first access.
+    """
 
     def __init__(self, columns: list[tuple[str | None, str]],
-                 rows: list[tuple]) -> None:
+                 rows: list[tuple] | None = None,
+                 coldata: list | None = None) -> None:
         self.columns = columns
-        self.rows = rows
+        if rows is None and coldata is None:
+            rows = []
+        self._rows = rows
+        self.coldata = coldata
         self._lookup: dict[tuple[str | None, str], int] = {}
         self._bare: dict[str, list[int]] = {}
         for idx, (qual, name) in enumerate(columns):
             self._lookup[(qual, name.lower())] = idx
             self._bare.setdefault(name.lower(), []).append(idx)
 
+    @property
+    def rows(self) -> list[tuple]:
+        """Row tuples; materialised lazily for column-backed relations."""
+        if self._rows is None:
+            cells = [_column_cells(col) for col in self.coldata]
+            self._rows = list(zip(*cells)) if cells else []
+        return self._rows
+
+    @rows.setter
+    def rows(self, value: list[tuple]) -> None:
+        self._rows = value
+
+    def __len__(self) -> int:
+        if self._rows is not None:
+            return len(self._rows)
+        return len(self.coldata[0]) if self.coldata else 0
+
     @classmethod
     def from_table(cls, table: Table, qualifier: str | None) -> "_Relation":
         columns = [(qualifier, name) for name in table.columns]
+        vectors = table.column_vectors()
+        if vectors is not None:
+            # Carry the table's cached row tuples too (when it already
+            # materialised them) so the row tier never re-runs the
+            # column→tuple conversion per query.
+            rows = list(table.rows) if table.is_materialised() else None
+            return cls(columns, rows=rows, coldata=vectors)
         return cls(columns, list(table.rows))
 
     def resolve(self, name: str, qualifier: str | None) -> int:
@@ -127,90 +182,6 @@ class _SortKey:
         return isinstance(other, _SortKey) and self._rank() == other._rank()
 
 
-def _sql_and(left: Any, right: Any) -> Any:
-    if left is False or right is False:
-        return False
-    if left is None or right is None:
-        return None
-    return bool(left) and bool(right)
-
-
-def _sql_or(left: Any, right: Any) -> Any:
-    if left is True or right is True:
-        return True
-    if left is None or right is None:
-        return None
-    return bool(left) or bool(right)
-
-
-def _sql_compare(op: str, left: Any, right: Any) -> Any:
-    if left is None or right is None:
-        return None
-    if op == "=":
-        return left == right
-    if op == "<>":
-        return left != right
-    try:
-        if op == "<":
-            return left < right
-        if op == "<=":
-            return left <= right
-        if op == ">":
-            return left > right
-        if op == ">=":
-            return left >= right
-    except TypeError:
-        raise ExecutionError(
-            f"cannot compare {type(left).__name__} {op} {type(right).__name__}"
-        ) from None
-    raise ExecutionError(f"unknown comparison operator {op}")
-
-
-def _sql_arith(op: str, left: Any, right: Any) -> Any:
-    if left is None or right is None:
-        return None
-    if op == "||":
-        return str(left) + str(right)
-    if op == "+" and isinstance(left, str) and isinstance(right, str):
-        return left + right
-    try:
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            if right == 0:
-                return None
-            return left / right
-        if op == "%":
-            if right == 0:
-                return None
-            return left % right
-    except TypeError:
-        raise ExecutionError(
-            f"cannot apply {op} to {type(left).__name__} and "
-            f"{type(right).__name__}"
-        ) from None
-    raise ExecutionError(f"unknown arithmetic operator {op}")
-
-
-def _like_to_predicate(pattern: str) -> Callable[[str], bool]:
-    import re
-    regex = "^"
-    for ch in pattern:
-        if ch == "%":
-            regex += ".*"
-        elif ch == "_":
-            regex += "."
-        else:
-            regex += re.escape(ch)
-    regex += "$"
-    compiled = re.compile(regex, re.DOTALL)
-    return lambda text: compiled.match(text) is not None
-
-
 def render(node: Node) -> str:
     """Render an expression back to compact SQL-ish text (used for naming)."""
     if isinstance(node, Literal):
@@ -242,12 +213,20 @@ def render(node: Node) -> str:
 
 
 class Executor:
-    """Evaluates statements against a table resolver and a UDF registry."""
+    """Evaluates statements against a table resolver and a UDF registry.
+
+    ``columnar=True`` (the default) enables the vectorized fast path for
+    scans of column-backed tables; ``columnar=False`` forces every stage
+    through the row-at-a-time interpreter — the reference the fast path
+    is verified against (and what benchmarks compare to).
+    """
 
     def __init__(self, resolve_table: Callable[[str], Table],
-                 udfs: dict[str, Callable[..., Any]] | None = None) -> None:
+                 udfs: dict[str, Callable[..., Any]] | None = None,
+                 columnar: bool = True) -> None:
         self._resolve_table = resolve_table
         self._udfs = {name.upper(): fn for name, fn in (udfs or {}).items()}
+        self._columnar = columnar
 
     # ------------------------------------------------------------------
     # Statement dispatch
@@ -277,26 +256,41 @@ class Executor:
     # SELECT
     # ------------------------------------------------------------------
     def _execute_select(self, stmt: Select) -> Table:
+        from repro.sql import columnar
+
         relation = self._build_source(stmt.source)
         if stmt.where is not None:
             self._reject_aggregates(stmt.where, "WHERE")
-            rows = [row for row in relation.rows
-                    if self._eval(stmt.where, relation, row) is True]
-            relation = _Relation(relation.columns, rows)
+            filtered = None
+            if self._columnar and relation.coldata is not None:
+                filtered = columnar.try_filter(relation, stmt.where)
+            if filtered is None:
+                rows = [row for row in relation.rows
+                        if self._eval(stmt.where, relation, row) is True]
+                relation = _Relation(relation.columns, rows)
+            else:
+                relation = filtered
 
         aggregate_query = bool(stmt.group_by) or any(
             self._contains_aggregate(item.expr) for item in stmt.items
         ) or (stmt.having is not None)
 
-        if aggregate_query:
-            table = self._execute_aggregate(stmt, relation)
-        else:
-            table = self._execute_plain(stmt, relation)
+        table: Table | None = None
+        if self._columnar and relation.coldata is not None:
+            if aggregate_query:
+                table = columnar.try_aggregate(stmt, relation)
+            else:
+                table = columnar.try_project(stmt, relation)
+        if table is None:
+            if aggregate_query:
+                table = self._execute_aggregate(stmt, relation)
+            else:
+                table = self._execute_plain(stmt, relation)
 
         if stmt.distinct:
             table = table.distinct()
         if stmt.offset:
-            table = Table(table.columns, table.rows[stmt.offset:])
+            table = table.slice_rows(stmt.offset, None)
         if stmt.limit is not None:
             table = table.limit(stmt.limit)
         return table
@@ -477,7 +471,8 @@ class Executor:
             out_rows = [out_rows[i] for i in order]
         return Table(columns, out_rows)
 
-    def _expand_stars(self, items: Sequence[SelectItem],
+    @staticmethod
+    def _expand_stars(items: Sequence[SelectItem],
                       relation: _Relation) -> list[SelectItem]:
         expanded: list[SelectItem] = []
         for item in items:
@@ -951,24 +946,3 @@ class _Reversed:
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, _Reversed) and self.inner == other.inner
-
-
-def _cast(value: Any, type_name: str) -> Any:
-    if value is None:
-        return None
-    try:
-        if type_name in ("INT", "INTEGER", "BIGINT", "LONG"):
-            return int(float(value))
-        if type_name in ("DOUBLE", "FLOAT", "REAL"):
-            return float(value)
-        if type_name in ("STRING", "VARCHAR", "TEXT"):
-            return str(value)
-        if type_name in ("BOOLEAN", "BOOL"):
-            if isinstance(value, str):
-                return value.strip().lower() in ("true", "t", "1", "yes")
-            return bool(value)
-    except (TypeError, ValueError) as exc:
-        raise ExecutionError(
-            f"cannot cast {value!r} to {type_name}: {exc}"
-        ) from exc
-    raise ExecutionError(f"unknown cast target type {type_name}")

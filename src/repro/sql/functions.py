@@ -95,6 +95,53 @@ def is_aggregate(name: str) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Segmented aggregates: the columnar executor's GROUP BY kernels.  Each
+# takes one numeric column already stable-sorted by group code plus the
+# (starts, ends) segment boundaries, and returns one value per group.
+#
+# Parity with the per-group scalar aggregates above is deliberate and
+# exact: MIN/MAX use ``reduceat``, which applies the same sequential
+# ufunc reduction ``np.min``/``np.max`` apply to each slice; SUM/AVG
+# issue one ``np.sum``/``np.mean`` per segment because numpy's pairwise
+# float summation is *not* what ``np.add.reduceat`` computes — a
+# reduceat-based SUM would differ in the last bits.
+# ---------------------------------------------------------------------------
+def _segmented_min(values: np.ndarray, starts: np.ndarray,
+                   ends: np.ndarray) -> np.ndarray:
+    return np.minimum.reduceat(values, starts)
+
+
+def _segmented_max(values: np.ndarray, starts: np.ndarray,
+                   ends: np.ndarray) -> np.ndarray:
+    return np.maximum.reduceat(values, starts)
+
+
+def _segmented_sum(values: np.ndarray, starts: np.ndarray,
+                   ends: np.ndarray) -> np.ndarray:
+    out = np.empty(starts.size, dtype=np.float64)
+    for g in range(starts.size):
+        out[g] = np.sum(values[starts[g]:ends[g]])
+    return out
+
+
+def _segmented_avg(values: np.ndarray, starts: np.ndarray,
+                   ends: np.ndarray) -> np.ndarray:
+    out = np.empty(starts.size, dtype=np.float64)
+    for g in range(starts.size):
+        out[g] = np.mean(values[starts[g]:ends[g]])
+    return out
+
+
+SEGMENTED_AGGREGATES: dict[str, Callable[
+        [np.ndarray, np.ndarray, np.ndarray], np.ndarray]] = {
+    "MIN": _segmented_min,
+    "MAX": _segmented_max,
+    "SUM": _segmented_sum,
+    "AVG": _segmented_avg,
+}
+
+
+# ---------------------------------------------------------------------------
 # Scalar functions
 # ---------------------------------------------------------------------------
 def _require(args: Sequence[Any], count: int, name: str) -> None:

@@ -9,7 +9,17 @@ ASTs before execution:
   of an INNER/CROSS join are pushed beneath the join, shrinking the
   hashed/iterated inputs.  Pushing below outer joins would change NULL
   semantics, so LEFT/RIGHT/FULL joins are left alone (except that the
-  *preserved* side of a LEFT join is safe, which we exploit).
+  *preserved* side of a LEFT join is safe, which we exploit).  Pushed
+  filters also land on base-table scans, where the columnar executor
+  can compile them to numpy masks — pushdown is what lets a filter
+  under a join still take the vectorized path.
+- **Constant folding** — literal-only subexpressions of WHERE
+  (``1 + 2 < 4``, ``NOT TRUE``, ``FALSE AND x``) are evaluated once at
+  plan time through the exact scalar semantics the executor would apply
+  per row (:mod:`repro.sql.semantics`).  Folding is conservative:
+  anything that would raise is left in place so the runtime surfaces
+  the identical error, and ``x AND FALSE`` is *not* folded because the
+  row evaluator would still evaluate (and possibly raise on) ``x``.
 
 The rewrite is purely structural; executing the optimised AST must give
 exactly the rows of the original (property-tested).
@@ -17,21 +27,28 @@ exactly the rows of the original (property-tested).
 
 from __future__ import annotations
 
+from dataclasses import fields, replace
+
+from repro.sql.errors import ExecutionError
 from repro.sql.nodes import (
     BinaryOp,
+    Case,
     ColumnRef,
     FuncCall,
     Join,
+    Literal,
     Node,
     Select,
     SelectItem,
     Star,
     SubqueryRef,
     TableRef,
+    UnaryOp,
     Union,
     walk,
 )
 from repro.sql.functions import is_aggregate
+from repro.sql.semantics import sql_and, sql_arith, sql_compare, sql_or
 
 
 def optimize(stmt: Node) -> Node:
@@ -47,7 +64,8 @@ def optimize(stmt: Node) -> Node:
 
 def _optimize_select(stmt: Select) -> Select:
     source = _optimize_source(stmt.source)
-    stmt = Select(items=stmt.items, source=source, where=stmt.where,
+    where = fold_constants(stmt.where) if stmt.where is not None else None
+    stmt = Select(items=stmt.items, source=source, where=where,
                   group_by=stmt.group_by, having=stmt.having,
                   order_by=stmt.order_by, limit=stmt.limit,
                   offset=stmt.offset, distinct=stmt.distinct)
@@ -159,6 +177,85 @@ def _strip_qualifiers(conjuncts: list[Node], alias: str | None
     """Qualified refs keep working inside the wrapping subquery because
     the leaf retains its alias; no rewrite needed."""
     return conjuncts
+
+
+_COMPARISON_OPS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+_ARITH_OPS = frozenset({"+", "-", "*", "/", "%", "||"})
+
+
+def fold_constants(node: Node) -> Node:
+    """Evaluate literal-only subexpressions at optimisation time.
+
+    Uses the executor's own scalar semantics, so a folded node is
+    *definitionally* equivalent to evaluating it per row.  Expressions
+    whose evaluation would raise (``1 < 'a'``) are left intact — the
+    row evaluator may legitimately never reach them behind an AND/OR
+    short circuit, and when it does reach them the error must surface.
+    """
+    if isinstance(node, BinaryOp):
+        left = fold_constants(node.left)
+        right = fold_constants(node.right)
+        if node.op == "AND":
+            # Exact short-circuit: the evaluator never touches the right
+            # side after a False left, so folding it away is safe.
+            if isinstance(left, Literal) and left.value is False:
+                return Literal(value=False)
+            if isinstance(left, Literal) and isinstance(right, Literal):
+                return Literal(value=sql_and(left.value, right.value))
+        elif node.op == "OR":
+            if isinstance(left, Literal) and left.value is True:
+                return Literal(value=True)
+            if isinstance(left, Literal) and isinstance(right, Literal):
+                return Literal(value=sql_or(left.value, right.value))
+        elif isinstance(left, Literal) and isinstance(right, Literal):
+            try:
+                if node.op in _COMPARISON_OPS:
+                    return Literal(value=sql_compare(
+                        node.op, left.value, right.value))
+                if node.op in _ARITH_OPS:
+                    return Literal(value=sql_arith(
+                        node.op, left.value, right.value))
+            except ExecutionError:
+                pass
+        return BinaryOp(op=node.op, left=left, right=right)
+    if isinstance(node, UnaryOp):
+        operand = fold_constants(node.operand)
+        if isinstance(operand, Literal):
+            value = operand.value
+            if node.op == "NOT":
+                return Literal(value=None if value is None else not value)
+            if node.op == "-" and value is not None:
+                try:
+                    return Literal(value=-value)
+                except TypeError:
+                    pass
+            elif node.op == "-":
+                return Literal(value=None)
+        return UnaryOp(op=node.op, operand=operand)
+    return _fold_children(node)
+
+
+def _fold_children(node: Node) -> Node:
+    """Fold inside composite expression nodes without touching the node."""
+    if isinstance(node, (Literal, ColumnRef, Star)):
+        return node
+    if isinstance(node, Case):
+        whens = tuple((fold_constants(c), fold_constants(r))
+                      for c, r in node.whens)
+        default = (fold_constants(node.default)
+                   if node.default is not None else None)
+        return Case(whens=whens, default=default)
+    if not hasattr(node, "__dataclass_fields__"):
+        return node
+    changes = {}
+    for f in fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, Node) and not isinstance(value, (Select, Union)):
+            changes[f.name] = fold_constants(value)
+        elif isinstance(value, tuple) and value and all(
+                isinstance(v, Node) for v in value):
+            changes[f.name] = tuple(fold_constants(v) for v in value)
+    return replace(node, **changes) if changes else node
 
 
 def _flatten_and(node: Node) -> list[Node]:

@@ -3,10 +3,20 @@
 `Database.explain(query)` shows what will actually run — including the
 filtering subqueries the optimizer injected — mirroring how the paper's
 users inspect Spark SQL plans when a hypothesis query misbehaves.
+
+Filter and Aggregate nodes whose *shape* fits the columnar executor's
+compilable subset are tagged ``[columnar-eligible]``; whether the fast
+path actually runs additionally depends on the scanned table being
+column-backed and on runtime column dtypes (see
+:mod:`repro.sql.columnar`).
 """
 
 from __future__ import annotations
 
+from repro.sql.columnar import (
+    aggregate_shape_eligible,
+    predicate_shape_eligible,
+)
 from repro.sql.executor import render
 from repro.sql.nodes import (
     Join,
@@ -72,13 +82,17 @@ def _render_select(stmt: Select, lines: list[str], depth: int) -> None:
         inner += 1
     if stmt.group_by or stmt.having is not None:
         keys = ", ".join(render(g) for g in stmt.group_by) or "<global>"
-        lines.append(f"{_pad(inner)}Aggregate(groupBy={keys})")
+        agg_tag = " [columnar-eligible]" if aggregate_shape_eligible(stmt) \
+            else ""
+        lines.append(f"{_pad(inner)}Aggregate(groupBy={keys}){agg_tag}")
         inner += 1
         if stmt.having is not None:
             lines.append(f"{_pad(inner)}Having({render(stmt.having)})")
             inner += 1
     if stmt.where is not None:
-        lines.append(f"{_pad(inner)}Filter({render(stmt.where)})")
+        where_tag = " [columnar-eligible]" \
+            if predicate_shape_eligible(stmt.where) else ""
+        lines.append(f"{_pad(inner)}Filter({render(stmt.where)}){where_tag}")
         inner += 1
     _render_source(stmt.source, lines, inner)
 

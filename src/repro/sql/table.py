@@ -89,6 +89,14 @@ class Table:
         ``.rows`` converts them to Python-valued row tuples on first
         access (numpy columns via ``tolist``, so cells are plain
         ``int``/``float`` exactly as a row-built table would hold).
+
+        Column-backed tables are what the columnar SQL executor fast-
+        paths: keep numeric columns as int64/float64 numpy arrays so
+        WHERE predicates compile to masks and aggregates to segmented
+        reductions.  :meth:`column_vectors`, :meth:`gather` and
+        :meth:`slice_rows` operate on the vectors directly; the caller
+        must not mutate a vector after handing it over (results and
+        caches alias it zero-copy).
         """
         names = list(columns)
         if len(set(names)) != len(names):
@@ -118,6 +126,53 @@ class Table:
     def is_materialised(self) -> bool:
         """True once row tuples exist (always true for row-built tables)."""
         return self._rows is not None
+
+    def column_vectors(self) -> list[np.ndarray] | None:
+        """Normalised per-column numpy vectors, or None for row-built tables.
+
+        This is the columnar executor's entry point to ``_coldata``:
+        numpy columns are returned as stored (zero-copy); list/tuple
+        columns are wrapped in object arrays so boolean-mask gathers
+        work uniformly.  The normalised vectors are cached back into
+        ``_coldata`` so repeated scans pay the wrapping once.  Cell
+        values observed through a vector are exactly the cells ``.rows``
+        would materialise (``_column_cells`` applies the same
+        conversion).
+        """
+        if self._coldata is None:
+            return None
+        for i, col in enumerate(self._coldata):
+            if not isinstance(col, np.ndarray):
+                self._coldata[i] = _as_object_array(list(col))
+        return list(self._coldata)
+
+    def gather(self, selector: np.ndarray) -> "Table":
+        """Rows selected by a boolean mask or integer index array.
+
+        Library-level counterpart of the columnar executor's internal
+        mask application, for callers that compute masks over
+        :meth:`column_vectors` themselves (e.g.
+        ``table.gather(np.asarray(table.column("value")) > 0)``).
+        Stays columnar for column-backed tables (each vector is gathered
+        with one numpy fancy-index); row-built tables fall back to a
+        Python row gather.  Row order follows the selector.
+        """
+        if self._coldata is not None:
+            vectors = self.column_vectors()
+            return Table.from_columns(
+                self.columns, [col[selector] for col in vectors])
+        selector = np.asarray(selector)
+        if selector.dtype == bool:
+            selector = np.flatnonzero(selector)
+        rows = [self.rows[i] for i in selector.tolist()]
+        return Table(self.columns, rows)
+
+    def slice_rows(self, start: int | None, stop: int | None) -> "Table":
+        """Contiguous row slice; zero-copy views for columnar tables."""
+        if self._rows is None:
+            return Table.from_columns(
+                self.columns, [col[start:stop] for col in self._coldata])
+        return Table(self.columns, self.rows[start:stop])
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -229,7 +284,9 @@ class Table:
         return Table(self.columns, sorted(self.rows, key=key, reverse=reverse))
 
     def limit(self, n: int) -> "Table":
-        """First ``n`` rows."""
+        """First ``n`` rows (stays columnar when lazy)."""
+        if self._rows is None:
+            return self.slice_rows(None, n)
         return Table(self.columns, self.rows[:n])
 
     def head_text(self, n: int = 10, max_width: int = 24) -> str:
@@ -263,6 +320,19 @@ def _column_cells(column: Any) -> list[Any]:
     if isinstance(column, np.ndarray):
         return column.tolist()
     return list(column)
+
+
+def _as_object_array(cells: list[Any]) -> np.ndarray:
+    """Wrap arbitrary Python cells in a 1-D object array.
+
+    ``np.asarray`` would try to broadcast list/tuple cells into extra
+    dimensions; pre-allocating the object array keeps every cell — dict,
+    list, None — as one element.
+    """
+    out = np.empty(len(cells), dtype=object)
+    for i, cell in enumerate(cells):
+        out[i] = cell
+    return out
 
 
 def _hashable_row(row: Row) -> tuple:

@@ -18,6 +18,14 @@ per-observation Python tuple is built unless a row-oriented consumer
 asks for ``.rows``.  Row ordering and cell values are identical to the
 historical per-point explosion (a stable sort by ``(timestamp,
 metric_name)`` over series in ``series_ids()`` order).
+
+The column vectors built here are what the columnar SQL executor
+(:mod:`repro.sql.columnar`) consumes directly: ``timestamp``/``value``
+stay int64/float64 so WHERE predicates over them compile to numpy
+masks and GROUP BY aggregates run as segmented reductions, which is
+the ingest→query path's end-to-end columnar story — at no point
+between ``insert_array`` and an aggregate query result does a
+per-observation Python object exist.
 """
 
 from __future__ import annotations

@@ -82,9 +82,13 @@ class Downsampler:
         and when every bucket holds the same number of points — the
         dense regular-grid case — the values are reshaped to a
         ``(buckets, width)`` matrix and reduced along axis 1.  Ragged
-        buckets fall back to one aggregator call per bucket slice.
-        Both paths are bitwise identical to the per-point reference
-        loop.
+        (gappy) buckets use a segmented ``reduceat`` for ``min``/``max``
+        — the same sequential ufunc reduction ``np.min`` applies per
+        slice, so the result is exact — and fall back to one aggregator
+        call per bucket slice for the remaining aggregates (float
+        summation order matters there, and ``reduceat`` would change
+        it).  All paths are bitwise identical to the per-point
+        reference loop.
         """
         if timestamps.size == 0:
             return timestamps.copy(), values.copy()
@@ -104,6 +108,14 @@ class Downsampler:
             width = int(sizes[0])
             matrix = np.ascontiguousarray(values).reshape(-1, width)
             return out_ts, np.asarray(self._row_fn(matrix),
+                                      dtype=np.float64)
+        if agg in ("min", "max"):
+            # Segmented reduction over ragged buckets: reduceat applies
+            # the identical sequential minimum/maximum reduction that a
+            # per-bucket np.min/np.max call would, so gappy series take
+            # the vectorized path exactly.
+            ufunc = np.minimum if agg == "min" else np.maximum
+            return out_ts, np.asarray(ufunc.reduceat(values, starts),
                                       dtype=np.float64)
         out_vals = np.asarray(
             [self._fn(values[s:e]) for s, e in zip(starts, ends)]

@@ -132,11 +132,17 @@ class TimeSeriesStore:
 
     @property
     def version(self) -> int:
-        """Monotonic mutation counter.
+        """Monotonic mutation counter — the cache-coherence contract.
 
         Bumped by every ``insert``/``insert_array``/``apply``/``merge``
-        call that changes stored data; derived caches (rollups, lazy SQL
-        tables) key on it.
+        call that changes stored data.  Any value derived from the
+        store (rollup tables, the lazy ``tsdb`` SQL provider via
+        :meth:`~repro.sql.catalog.Database.register_versioned_provider`,
+        score matrices, …) should be cached as ``(version, value)`` and
+        rebuilt when the stored version differs; never key on
+        ``num_points()``, which misses in-place ``apply`` rewrites
+        (fault injection).  Reading the version never mutates state, and
+        equal versions guarantee identical store contents.
         """
         return self._version
 

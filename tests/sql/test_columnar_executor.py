@@ -1,0 +1,415 @@
+"""Unit tests for the columnar SQL execution tier.
+
+Every query runs through both ``Database(columnar=True)`` (default) and
+``Database(columnar=False)`` (the row-at-a-time reference) over the same
+column-backed table; results must be identical in column names, row
+order, and cell values.  Where a query is eligible for the fast path we
+additionally assert the result came back lazy (column-backed), which
+proves the vectorized tier actually ran rather than silently falling
+back.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sql.catalog import Database
+from repro.sql.columnar import (
+    aggregate_shape_eligible,
+    predicate_shape_eligible,
+)
+from repro.sql.errors import ExecutionError
+from repro.sql.parser import parse
+from repro.sql.table import Table
+
+
+def _tsdb_like(n: int = 60) -> Table:
+    rng = np.random.default_rng(7)
+    ts = np.arange(n, dtype=np.int64)
+    metric = np.empty(n, dtype=object)
+    metric[:] = [("cpu", "disk", "net")[i % 3] for i in range(n)]
+    tag = np.empty(n, dtype=object)
+    tag[:] = [{"host": f"h{i % 4}"} for i in range(n)]
+    value = rng.standard_normal(n)
+    note = np.empty(n, dtype=object)
+    note[:] = [None if i % 5 == 0 else f"n{i % 3}" for i in range(n)]
+    return Table.from_columns(
+        ["timestamp", "metric_name", "tag", "value", "note"],
+        [ts, metric, tag, value, note])
+
+
+def _pair(table: Table) -> tuple[Database, Database]:
+    fast, slow = Database(), Database(columnar=False)
+    for db in (fast, slow):
+        db.register("tsdb", table)
+    return fast, slow
+
+
+def _rows_equal(a: list[tuple], b: list[tuple]) -> bool:
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        if len(ra) != len(rb):
+            return False
+        for ca, cb in zip(ra, rb):
+            if isinstance(ca, float) and isinstance(cb, float) \
+                    and math.isnan(ca) and math.isnan(cb):
+                continue
+            if ca != cb or type(ca) is not type(cb):
+                return False
+    return True
+
+
+def assert_parity(query: str, table: Table | None = None,
+                  expect_lazy: bool | None = None) -> Table:
+    fast, slow = _pair(table if table is not None else _tsdb_like())
+    result = fast.sql(query)
+    if expect_lazy is not None:
+        assert result.is_materialised() is not expect_lazy, (
+            f"expected lazy={expect_lazy} for {query!r}")
+    reference = slow.sql(query)
+    assert result.columns == reference.columns
+    assert _rows_equal(result.rows, reference.rows), (
+        f"row mismatch for {query!r}:\n  fast {result.rows[:4]}\n"
+        f"  ref  {reference.rows[:4]}")
+    return result
+
+
+class TestColumnarFilter:
+    def test_numeric_comparisons(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert_parity(f"SELECT timestamp, value FROM tsdb "
+                          f"WHERE value {op} 0.25", expect_lazy=True)
+
+    def test_and_or_not_three_valued(self):
+        assert_parity(
+            "SELECT timestamp FROM tsdb WHERE NOT (note = 'n1') "
+            "OR (value > 0 AND timestamp < 30)", expect_lazy=True)
+
+    def test_string_equality_on_object_column(self):
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE metric_name = 'cpu'", expect_lazy=True)
+
+    def test_null_semantics_under_not(self):
+        # note is NULL every 5th row: NOT (NULL = 'n1') must stay NULL
+        # (row dropped), not flip to kept.
+        result = assert_parity("SELECT note FROM tsdb "
+                               "WHERE NOT (note = 'n1')")
+        assert None not in [r[0] for r in result.rows]
+
+    def test_between_and_negated_between(self):
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE timestamp BETWEEN 10 AND 20", expect_lazy=True)
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE timestamp NOT BETWEEN 10 AND 20")
+
+    def test_in_and_not_in(self):
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE metric_name IN ('cpu', 'net')", expect_lazy=True)
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE metric_name NOT IN ('cpu', 'net')")
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE note NOT IN ('n1', NULL)")
+
+    def test_is_null(self):
+        assert_parity("SELECT timestamp FROM tsdb WHERE note IS NULL",
+                      expect_lazy=True)
+        assert_parity("SELECT timestamp FROM tsdb WHERE note IS NOT NULL")
+
+    def test_like(self):
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE metric_name LIKE 'c%'", expect_lazy=True)
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE note NOT LIKE 'n_'")
+
+    def test_map_subscript(self):
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE tag['host'] = 'h2'", expect_lazy=True)
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE tag['missing'] IS NULL")
+
+    def test_arithmetic_in_predicate(self):
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE value * 2 + 1 > 1.5", expect_lazy=True)
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE timestamp % 7 = 3", expect_lazy=True)
+
+    def test_division_by_zero_is_null(self):
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE value / 0 > 1")
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE value / (timestamp - 10) > 0")
+
+    def test_nan_comparison_is_false_not_null(self):
+        n = 6
+        value = np.asarray([1.0, float("nan"), -1.0,
+                            float("nan"), 0.5, 2.0])
+        table = Table.from_columns(
+            ["timestamp", "value"],
+            [np.arange(n, dtype=np.int64), value])
+        assert_parity("SELECT timestamp FROM tsdb WHERE value > 0",
+                      table=table)
+        assert_parity("SELECT timestamp FROM tsdb WHERE NOT (value > 0)",
+                      table=table)
+
+    def test_mixed_type_equality(self):
+        assert_parity("SELECT timestamp FROM tsdb WHERE value = 'cpu'")
+
+    def test_int64_overflow_falls_back_to_exact_python_ints(self):
+        # Epoch-nanosecond-scale timestamps: ts * 10 wraps in int64 but
+        # the row path uses arbitrary-precision ints; the columnar tier
+        # must defer.
+        table = Table.from_columns(
+            ["ts"], [np.asarray([10 ** 18, 5], dtype=np.int64)])
+        result = assert_parity("SELECT ts FROM tsdb WHERE ts * 10 > 0",
+                               table=table)
+        assert result.rows == [(10 ** 18,), (5,)]
+        assert_parity("SELECT ts FROM tsdb "
+                      "WHERE ts + 20000000000000000000 > 0", table=table)
+        assert_parity("SELECT ts, -ts AS neg FROM tsdb WHERE ts > 0",
+                      table=table)
+
+    def test_large_int_float_comparison_stays_exact(self):
+        # 2**53 + 1 is not float64-representable; numpy would compare
+        # it equal to 2.0**53 after promotion, Python compares exactly.
+        table = Table.from_columns(
+            ["ts"], [np.asarray([2 ** 53 + 1, 7], dtype=np.int64)])
+        result = assert_parity(
+            f"SELECT ts FROM tsdb WHERE ts = {float(2 ** 53)}",
+            table=table)
+        assert result.rows == []
+        assert_parity(f"SELECT ts FROM tsdb WHERE ts < {float(2 ** 53)}",
+                      table=table)
+
+    def test_large_int_division_stays_correctly_rounded(self):
+        # Python int/int is correctly rounded; float64-converted
+        # operands can be off in the last bit.
+        table = Table.from_columns(
+            ["a", "b"],
+            [np.asarray([3836028225354925625, 10], dtype=np.int64),
+             np.asarray([4472196893684131593, 4], dtype=np.int64)])
+        fast, slow = _pair(table)
+        q = "SELECT a / b AS q FROM tsdb"
+        for fa, ro in zip(fast.sql(q).rows, slow.sql(q).rows):
+            assert fa[0].hex() == ro[0].hex()
+
+    def test_unsigned_columns_fall_back_to_python_ints(self):
+        # numpy wraps uint subtraction/negation; Python goes negative.
+        table = Table.from_columns(
+            ["u"], [np.asarray([2, 5], dtype=np.uint64)])
+        result = assert_parity("SELECT u - 5 AS d, -u AS n FROM tsdb",
+                               table=table)
+        assert result.rows == [(-3, -2), (0, -5)]
+        assert_parity("SELECT u FROM tsdb WHERE u = 2.0", table=table)
+
+    def test_bool_arithmetic_falls_back_to_python_semantics(self):
+        # numpy bool arithmetic is logical (True+True is True); Python's
+        # is integer (True+True == 2).  Row path must win.
+        table = Table.from_columns(
+            ["a", "b"], [np.asarray([True, True, False]),
+                         np.asarray([True, False, False])])
+        result = assert_parity("SELECT a FROM tsdb WHERE a + b = 2",
+                               table=table)
+        assert result.rows == [(True,)]
+        assert_parity("SELECT a FROM tsdb WHERE a - b = 0", table=table)
+        assert_parity("SELECT a, -a AS neg FROM tsdb WHERE a = 1",
+                      table=table)
+
+    def test_incomparable_ordering_falls_back_to_row_error(self):
+        fast, slow = _pair(_tsdb_like())
+        with pytest.raises(ExecutionError):
+            slow.sql("SELECT timestamp FROM tsdb WHERE metric_name < 5")
+        with pytest.raises(ExecutionError):
+            fast.sql("SELECT timestamp FROM tsdb WHERE metric_name < 5")
+
+
+class TestColumnarProject:
+    def test_star_is_zero_copy(self):
+        result = assert_parity("SELECT * FROM tsdb WHERE value > 0",
+                               expect_lazy=True)
+        assert result.columns == ["timestamp", "metric_name", "tag",
+                                  "value", "note"]
+
+    def test_expressions_and_aliases(self):
+        assert_parity("SELECT timestamp, value * 100 AS scaled, "
+                      "-value AS neg, CAST(timestamp AS DOUBLE) AS tf "
+                      "FROM tsdb WHERE value > 0", expect_lazy=True)
+
+    def test_constant_and_null_columns(self):
+        assert_parity("SELECT timestamp, 42 AS k, value / 0 AS z "
+                      "FROM tsdb WHERE timestamp < 10")
+
+    def test_limit_offset_distinct(self):
+        assert_parity("SELECT metric_name FROM tsdb LIMIT 5")
+        assert_parity("SELECT DISTINCT metric_name FROM tsdb")
+        assert_parity("SELECT timestamp FROM tsdb "
+                      "WHERE value > 0 LIMIT 4 OFFSET 2")
+
+    def test_order_by_falls_back_identically(self):
+        assert_parity("SELECT timestamp, value FROM tsdb "
+                      "WHERE value > 0 ORDER BY value DESC",
+                      expect_lazy=False)
+
+    def test_scalar_functions_fall_back_identically(self):
+        assert_parity("SELECT UPPER(metric_name) AS u FROM tsdb "
+                      "WHERE value > 0", expect_lazy=False)
+
+
+class TestColumnarAggregate:
+    def test_group_by_object_column_all_aggregates(self):
+        assert_parity(
+            "SELECT metric_name, COUNT(*) AS n, SUM(value) AS s, "
+            "AVG(value) AS a, MIN(value) AS lo, MAX(value) AS hi "
+            "FROM tsdb GROUP BY metric_name", expect_lazy=True)
+
+    def test_group_by_numeric_column(self):
+        assert_parity("SELECT timestamp, COUNT(*) AS n FROM tsdb "
+                      "GROUP BY timestamp", expect_lazy=True)
+
+    def test_group_order_is_first_occurrence(self):
+        metric = np.empty(6, dtype=object)
+        metric[:] = ["z", "a", "z", "m", "a", "z"]
+        table = Table.from_columns(
+            ["metric_name", "value"],
+            [metric, np.asarray([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])])
+        result = assert_parity(
+            "SELECT metric_name, COUNT(*) AS n FROM tsdb "
+            "GROUP BY metric_name", table=table)
+        assert [r[0] for r in result.rows] == ["z", "a", "m"]
+
+    def test_multi_key_and_map_key_grouping(self):
+        assert_parity("SELECT metric_name, note, COUNT(*) AS n FROM tsdb "
+                      "GROUP BY metric_name, note", expect_lazy=True)
+        assert_parity("SELECT tag, COUNT(*) AS n FROM tsdb GROUP BY tag",
+                      expect_lazy=True)
+
+    def test_count_skips_nulls_in_object_column(self):
+        assert_parity("SELECT metric_name, COUNT(note) AS n FROM tsdb "
+                      "GROUP BY metric_name", expect_lazy=True)
+
+    def test_filter_then_aggregate(self):
+        assert_parity(
+            "SELECT metric_name, AVG(value) AS a FROM tsdb "
+            "WHERE value > 0 AND timestamp BETWEEN 5 AND 50 "
+            "GROUP BY metric_name", expect_lazy=True)
+
+    def test_global_aggregates(self):
+        assert_parity("SELECT COUNT(*) AS n, SUM(value) AS s, "
+                      "MIN(timestamp) AS lo FROM tsdb", expect_lazy=True)
+
+    def test_global_aggregate_over_empty_relation(self):
+        assert_parity("SELECT COUNT(*) AS n, AVG(value) AS a, "
+                      "MAX(value) AS hi FROM tsdb WHERE value > 1e12")
+
+    def test_group_by_over_empty_relation(self):
+        assert_parity("SELECT metric_name, COUNT(*) AS n FROM tsdb "
+                      "WHERE value > 1e12 GROUP BY metric_name")
+
+    def test_order_by_aggregate_output(self):
+        assert_parity("SELECT metric_name, AVG(value) AS a FROM tsdb "
+                      "GROUP BY metric_name ORDER BY a DESC")
+        assert_parity("SELECT metric_name, COUNT(*) AS n FROM tsdb "
+                      "GROUP BY metric_name ORDER BY n, metric_name DESC")
+
+    def test_min_max_with_negative_zero_is_bitwise_identical(self):
+        # builtin min keeps the first of equal values (0.0), reduceat
+        # may pick -0.0; the columnar tier must defer to stay bitwise.
+        value = np.asarray([0.0, -0.0, 1.0, -0.0, 0.0, 2.0])
+        metric = np.empty(6, dtype=object)
+        metric[:] = ["a", "a", "a", "b", "b", "b"]
+        table = Table.from_columns(["metric_name", "value"],
+                                   [metric, value])
+        fast, slow = _pair(table)
+        q = ("SELECT metric_name, MIN(value) AS lo FROM tsdb "
+             "GROUP BY metric_name")
+        for fa, ro in zip(fast.sql(q).rows, slow.sql(q).rows):
+            assert fa[1].hex() == ro[1].hex()
+
+    def test_min_max_with_nan_falls_back_identically(self):
+        value = np.asarray([1.0, float("nan"), -1.0, 3.0])
+        metric = np.empty(4, dtype=object)
+        metric[:] = ["a", "a", "b", "b"]
+        table = Table.from_columns(["metric_name", "value"],
+                                   [metric, value])
+        assert_parity("SELECT metric_name, MAX(value) AS hi FROM tsdb "
+                      "GROUP BY metric_name", table=table)
+
+    def test_having_and_distinct_agg_fall_back_identically(self):
+        assert_parity("SELECT metric_name, COUNT(*) AS n FROM tsdb "
+                      "GROUP BY metric_name HAVING COUNT(*) > 5")
+        assert_parity("SELECT COUNT(DISTINCT metric_name) AS n FROM tsdb")
+
+    def test_avg_sum_bitwise_vs_row_path(self):
+        """SUM/AVG must match the row path bit for bit, not just approx."""
+        fast, slow = _pair(_tsdb_like(200))
+        q = ("SELECT metric_name, SUM(value) AS s, AVG(value) AS a "
+             "FROM tsdb GROUP BY metric_name")
+        for fa, ro in zip(fast.sql(q).rows, slow.sql(q).rows):
+            assert fa[1].hex() == ro[1].hex()
+            assert fa[2].hex() == ro[2].hex()
+
+
+class TestShapeEligibility:
+    def test_predicate_shapes(self):
+        eligible = parse("SELECT a FROM t WHERE a > 1 AND b IN (1, 2)")
+        assert predicate_shape_eligible(eligible.where)
+        udf = parse("SELECT a FROM t WHERE myudf(a) > 1")
+        assert not predicate_shape_eligible(udf.where)
+
+    def test_aggregate_shapes(self):
+        good = parse("SELECT k, COUNT(*) FROM t GROUP BY k")
+        assert aggregate_shape_eligible(good)
+        bad = parse("SELECT k, COUNT(*) FROM t GROUP BY k "
+                    "HAVING COUNT(*) > 1")
+        assert not aggregate_shape_eligible(bad)
+
+    def test_explain_tags_columnar_stages(self):
+        fast, _ = _pair(_tsdb_like())
+        plan = fast.explain("SELECT metric_name, COUNT(*) AS n FROM tsdb "
+                            "WHERE value > 0 GROUP BY metric_name")
+        assert plan.count("[columnar-eligible]") == 2
+
+
+class TestTableColumnarHelpers:
+    def test_column_vectors_normalise_and_cache(self):
+        table = Table.from_columns(["a", "b"],
+                                   [np.arange(3, dtype=np.int64),
+                                    ["x", None, "y"]])
+        vectors = table.column_vectors()
+        assert vectors[0].dtype == np.int64
+        assert vectors[1].dtype == object
+        assert vectors[1] is table.column_vectors()[1]   # cached wrap
+        assert Table(["a"], [(1,)]).column_vectors() is None
+
+    def test_gather_mask_and_indices(self):
+        table = Table.from_columns(["a", "v"],
+                                   [np.arange(4, dtype=np.int64),
+                                    np.asarray([1.0, 2.0, 3.0, 4.0])])
+        masked = table.gather(np.asarray(table.column("v")) > 2.0)
+        assert not masked.is_materialised()
+        assert masked.rows == [(2, 3.0), (3, 4.0)]
+        picked = table.gather(np.asarray([3, 0]))
+        assert picked.rows == [(3, 4.0), (0, 1.0)]
+        row_built = Table(["a"], [(0,), (1,), (2,)])
+        assert row_built.gather(np.asarray([True, False, True])).rows \
+            == [(0,), (2,)]
+        assert row_built.gather(np.asarray([2, 0])).rows == [(2,), (0,)]
+
+    def test_slice_rows_and_limit_stay_lazy(self):
+        table = Table.from_columns(["a"], [np.arange(10, dtype=np.int64)])
+        sliced = table.slice_rows(2, 5)
+        assert not sliced.is_materialised()
+        assert sliced.rows == [(2,), (3,), (4,)]
+        limited = table.limit(3)
+        assert not limited.is_materialised()
+        assert limited.rows == [(0,), (1,), (2,)]
+
+
+class TestRowBackedTablesUnaffected:
+    def test_row_built_table_takes_row_path(self):
+        table = Table(["k", "v"], [("a", 1), ("b", 2), ("a", 3)])
+        fast, slow = _pair(table)
+        q = "SELECT k, SUM(v) AS s FROM tsdb WHERE v > 1 GROUP BY k"
+        assert fast.sql(q).rows == slow.sql(q).rows == [("b", 2.0),
+                                                        ("a", 3.0)]

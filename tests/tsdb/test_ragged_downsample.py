@@ -1,0 +1,73 @@
+"""Bitwise parity of the segmented ragged-downsample fast path.
+
+Gappy (irregular) series produce unequal bucket sizes, which used to
+fall back to one Python-level aggregator call per bucket for every
+aggregate.  MIN/MAX now reduce all buckets with one ``reduceat`` call
+(COUNT was already derived from bucket sizes); these tests pin the fast
+path to the per-bucket reference loop bit for bit, and keep the
+loop-fallback aggregates (sum/avg/median/p95) honest too.
+"""
+
+from hypothesis import given, settings, strategies as st
+import numpy as np
+
+from repro.tsdb.query import Downsampler
+from repro.tsdb.reference import naive_downsample
+
+
+def _apply_both(interval, agg, ts, vals):
+    fast_ts, fast_vals = Downsampler(interval, agg).apply(ts, vals)
+    ref_ts, ref_vals = naive_downsample(interval, agg, ts, vals)
+    assert np.array_equal(fast_ts, ref_ts)
+    assert np.array_equal(fast_vals, ref_vals), (
+        f"{agg} mismatch: {fast_vals} vs {ref_vals}")
+    return fast_ts, fast_vals
+
+
+@st.composite
+def gappy_series(draw):
+    n = draw(st.integers(1, 60))
+    ts = np.asarray(sorted(draw(st.sets(
+        st.integers(0, 300), min_size=n, max_size=n))), dtype=np.int64)
+    vals = np.asarray(draw(st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False),
+        min_size=ts.size, max_size=ts.size)), dtype=np.float64)
+    return ts, vals
+
+
+class TestRaggedSegmentedReduction:
+    def test_min_max_on_explicitly_gappy_buckets(self):
+        # Buckets of sizes 3, 1, 2 under interval=10: ragged by design.
+        ts = np.asarray([0, 3, 7, 25, 41, 44], dtype=np.int64)
+        vals = np.asarray([5.0, -2.0, 3.5, 9.0, -1.0, -7.25])
+        out_ts, mins = _apply_both(10, "min", ts, vals)
+        assert out_ts.tolist() == [0, 20, 40]
+        assert mins.tolist() == [-2.0, 9.0, -7.25]
+        _, maxes = _apply_both(10, "max", ts, vals)
+        assert maxes.tolist() == [5.0, 9.0, -1.0]
+
+    def test_count_on_gappy_buckets(self):
+        ts = np.asarray([0, 3, 7, 25, 41, 44], dtype=np.int64)
+        vals = np.zeros(6)
+        _, counts = _apply_both(10, "count", ts, vals)
+        assert counts.tolist() == [3.0, 1.0, 2.0]
+
+    def test_single_point_buckets(self):
+        ts = np.asarray([0, 100, 200], dtype=np.int64)
+        vals = np.asarray([1.0, 2.0, 3.0])
+        for agg in ("min", "max", "count"):
+            _apply_both(7, agg, ts, vals)
+
+    @given(gappy_series(), st.integers(1, 40),
+           st.sampled_from(["min", "max", "count"]))
+    @settings(max_examples=120, deadline=None)
+    def test_segmented_aggregates_bitwise(self, series, interval, agg):
+        ts, vals = series
+        _apply_both(interval, agg, ts, vals)
+
+    @given(gappy_series(), st.integers(1, 40),
+           st.sampled_from(["sum", "avg", "median", "p95"]))
+    @settings(max_examples=60, deadline=None)
+    def test_loop_fallback_aggregates_bitwise(self, series, interval, agg):
+        ts, vals = series
+        _apply_both(interval, agg, ts, vals)
