@@ -3,7 +3,7 @@
 This module is the fast path :class:`~repro.sql.executor.Executor` tries
 first when a scan yields a column-backed relation (a table built with
 :meth:`~repro.sql.table.Table.from_columns`, e.g. the tsdb adapter's
-output).  Three entry points mirror the executor's stages:
+output).  Four entry points mirror the executor's stages:
 
 - :func:`try_filter` — compiles a WHERE tree to a three-valued-logic
   pair of boolean masks (``true``, ``null``) over whole column vectors
@@ -11,11 +11,25 @@ output).  Three entry points mirror the executor's stages:
   tree per row.
 - :func:`try_project` — compiles each SELECT item to a column vector;
   bare column references are zero-copy views of the scanned data.
+  Window functions run as vectorized partition-segment scans (one
+  lexsort by partition code + ORDER BY keys, then the segmented
+  kernels of :mod:`repro.sql.functions`), and ORDER BY becomes one
+  ``np.lexsort`` over dense sort codes that encode the row path's
+  ``_SortKey`` type-rank ordering.
 - :func:`try_aggregate` — factorizes the GROUP BY keys into group
   codes (numpy ``unique`` for a single numeric key, a first-occurrence
-  dict otherwise), stable-sorts rows by code, and reduces each aggregate
-  over the resulting segments (``reduceat`` for MIN/MAX, one numpy
-  reduction per segment for SUM/AVG, ``bincount`` for COUNT).
+  dict otherwise), stable-sorts rows by code, and reduces each
+  aggregate over the resulting segments (``reduceat`` for MIN/MAX, one
+  numpy reduction per segment for SUM/AVG, ``bincount`` for COUNT).
+  Aggregate arguments may be value expressions (``SUM(a*b)``), items
+  may combine aggregates (``SUM(v)/COUNT(*)``), HAVING is applied as a
+  three-valued-logic mask over the aggregated output, and ORDER BY
+  lexsorts the group rows.
+- :func:`try_join` — hash equi-join over key-code vectors: both sides'
+  equi-key expressions compile to vectors, factorize to shared integer
+  codes (NULL/NaN keys get a never-matching code, exactly like the row
+  path's bucket skip), and matching/expansion is pure numpy; residual
+  predicates compile to masks over the gathered candidate pairs.
 
 Every entry point returns ``None`` when any part of the statement falls
 outside the compilable subset — the executor then runs its row-at-a-time
@@ -28,11 +42,11 @@ counterpart — object-typed cells, LIKE, map subscripts — is evaluated
 element-wise through the very scalar functions of
 :mod:`repro.sql.semantics` that the row path calls.
 
-Known deliberate fallbacks: HAVING, DISTINCT aggregates, window
-functions, joins (filters still vectorize beneath a join via predicate
-pushdown), ORDER BY in plain selects, MIN/MAX over columns containing
-NaN (Python's builtin ``min`` is order-dependent there), and ``||``
-string concatenation.
+Known deliberate fallbacks: DISTINCT aggregates, PERCENTILE/STDDEV-class
+aggregates, scalar/UDF calls, CASE, ``||`` string concatenation, MIN/MAX
+over float columns containing NaN or a -0.0/0.0 mix (the row path's
+builtin ``min`` is order-dependent there), non-equi joins, and window
+calls with non-constant offset/window parameters.
 """
 
 from __future__ import annotations
@@ -43,7 +57,16 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.sql.errors import ExecutionError, SchemaError
-from repro.sql.functions import SEGMENTED_AGGREGATES, is_aggregate
+from repro.sql.functions import (
+    SEGMENTED_AGGREGATES,
+    WINDOW_FUNCTIONS,
+    is_aggregate,
+    segment_bounds,
+    segment_positions,
+    segmented_moving_avg,
+    segmented_rank,
+    segmented_shift_targets,
+)
 from repro.sql.nodes import (
     Between,
     BinaryOp,
@@ -126,6 +149,9 @@ class _Ctx:
         self.relation = relation
         self.n = len(relation)
         self._null_cache: dict[int, np.ndarray | None] = {}
+        #: Pre-compiled window-function results, keyed by AST node id —
+        #: the vector analogue of the executor's per-row window cache.
+        self.windows: dict[int, _Val] = {}
 
     def column(self, ref: ColumnRef) -> _Val:
         idx = self.relation.resolve(ref.name, ref.table)
@@ -161,9 +187,93 @@ def _merge_null(a: np.ndarray | None, b: np.ndarray | None
 
 def _cells(val: _Val, ctx: _Ctx) -> list:
     """The value as Python cells — identical to what ``.rows`` would hold."""
+    return _val_cells(val, ctx.n)
+
+
+def _val_cells(val: _Val, n: int) -> list:
+    """Cells with the NULL mask applied — the row evaluator's values."""
     if val.is_const:
-        return [val.const] * ctx.n
-    return _column_cells(val.data)
+        return [val.const] * n
+    cells = _column_cells(val.data)
+    if val.null is not None:
+        cells = [None if isnull else cell
+                 for cell, isnull in zip(cells, val.null.tolist())]
+    return cells
+
+
+def _all_strings(cells) -> bool:
+    """True when every cell is exactly ``str`` — the vectorizable case.
+
+    Plain strings hash, compare, and sort identically under numpy and
+    Python, so string-only object columns can take ``np.unique`` fast
+    paths that would be unsound for mixed cells (NaN identity, cross-
+    type ``==``).
+    """
+    return all(type(cell) is str for cell in cells)
+
+
+def _gather_val(val: _Val, idx: np.ndarray) -> _Val:
+    """The value restricted to (or permuted by) an index vector."""
+    if val.is_const:
+        return val
+    return _Val(data=val.data[idx],
+                null=val.null[idx] if val.null is not None else None)
+
+
+def _compile_any(expr: Node, ctx: "_Ctx") -> _Val:
+    """Compile as a value; boolean-shaped trees become True/False/None.
+
+    The row evaluator has one ``_eval`` for both value and predicate
+    expressions; this is its compiled counterpart.  AND/OR compile
+    without short-circuiting — Kleene logic gives identical *values*,
+    and any error the row path would dodge behind a short circuit makes
+    the statement fall back to the row path, which then dodges it.
+    """
+    try:
+        return _compile_value(expr, ctx)
+    except _Ineligible:
+        pass
+    true, null = _compile_bool(expr, ctx)
+    if not null.any():
+        return _Val(data=true)
+    return _Val(data=true, null=null)
+
+
+def _bool_from_val(val: _Val, ctx: "_Ctx"
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """A compiled value reinterpreted as a 3VL (true, null) mask pair.
+
+    Only genuinely boolean values qualify: True/False/None cells.  The
+    row path applies ``is True`` / Kleene connectives to these directly,
+    so the masks are exact.  Anything else (ints used as truth values)
+    is ineligible.
+    """
+    if val.is_const:
+        if val.const is True:
+            return ctx.ones(), ctx.zeros()
+        if val.const is False:
+            return ctx.zeros(), ctx.zeros()
+        if val.const is None:
+            return ctx.zeros(), ctx.ones()
+        raise _Ineligible
+    kind = val.data.dtype.kind
+    if kind == "b":
+        null = val.null
+        if null is None:
+            return val.data.astype(bool, copy=False), ctx.zeros()
+        return val.data & ~null, null.copy()
+    if kind != "O":
+        raise _Ineligible
+    true = ctx.zeros()
+    null = ctx.zeros()
+    for i, cell in enumerate(_val_cells(val, ctx.n)):
+        if cell is True:
+            true[i] = True
+        elif cell is None:
+            null[i] = True
+        elif cell is not False:
+            raise _Ineligible
+    return true, null
 
 
 # ---------------------------------------------------------------------------
@@ -174,6 +284,11 @@ def _compile_value(expr: Node, ctx: _Ctx) -> _Val:
         return _Val(const=expr.value)
     if isinstance(expr, ColumnRef):
         return ctx.column(expr)
+    if isinstance(expr, FuncCall) and expr.window is not None:
+        cached = ctx.windows.get(id(expr))
+        if cached is None:
+            raise _Ineligible    # window in an unsupported position
+        return cached
     if isinstance(expr, UnaryOp) and expr.op == "-":
         val = _compile_value(expr.operand, ctx)
         if val.is_const:
@@ -350,10 +465,7 @@ def _compile_bool(expr: Node, ctx: _Ctx) -> tuple[np.ndarray, np.ndarray]:
             return ctx.zeros(), ctx.ones()
         raise _Ineligible            # non-boolean literal truthiness
     if isinstance(expr, ColumnRef):
-        val = ctx.column(expr)
-        if val.data.dtype.kind != "b":
-            raise _Ineligible
-        return val.data.astype(bool, copy=False), ctx.zeros()
+        return _bool_from_val(ctx.column(expr), ctx)
     if isinstance(expr, BinaryOp):
         if expr.op == "AND":
             lt, ln = _compile_bool(expr.left, ctx)
@@ -534,6 +646,334 @@ def _compile_like(expr: Like, ctx: _Ctx) -> tuple[np.ndarray, np.ndarray]:
 
 
 # ---------------------------------------------------------------------------
+# Sort codes: ORDER BY as np.lexsort over dense rank vectors
+# ---------------------------------------------------------------------------
+def _sort_codes(val: _Val, n: int) -> np.ndarray:
+    """Dense int64 codes whose ascending order equals ``_SortKey`` order.
+
+    Two positions get the same code exactly when the row path's
+    ``_SortKey`` ranks their cells equal, and a smaller code exactly
+    when it ranks the cell smaller: NULL < numbers (compared through
+    ``float(value)``, so int64 cells collapse precisely where the row
+    path collapses them) < NaN < strings < everything else (by
+    ``str``).  DESC keys negate the codes; all NaNs share one bucket,
+    keeping the order transitive.
+    """
+    if val.is_const:
+        return np.zeros(n, dtype=np.int64)
+    data, null = val.data, val.null
+    kind = data.dtype.kind
+    if kind in "iubf":
+        as_float = data.astype(np.float64)
+        valid = np.ones(n, dtype=bool) if null is None else ~null
+        nan = np.zeros(n, dtype=bool)
+        if kind == "f":
+            nan = np.isnan(data) & valid
+        ok = valid & ~nan
+        uniq = np.unique(as_float[ok])
+        codes = np.zeros(n, dtype=np.int64)
+        codes[ok] = np.searchsorted(uniq, as_float[ok]) + 1
+        codes[nan] = uniq.size + 1
+        return codes
+    if kind == "U" and null is None:
+        _, inverse = np.unique(data, return_inverse=True)
+        return inverse.reshape(-1).astype(np.int64)
+    if kind == "O" and (null is None or not null.any()) \
+            and _all_strings(_column_cells(data)):
+        _, inverse = np.unique(data, return_inverse=True)
+        return inverse.reshape(-1).astype(np.int64)
+    return _object_sort_codes(_val_cells(val, n))
+
+
+_RANK_NULL, _RANK_NUM, _RANK_NAN, _RANK_STR, _RANK_OTHER = range(5)
+
+
+def _object_sort_codes(cells: list) -> np.ndarray:
+    """Sort codes for arbitrary Python cells, per ``_SortKey._rank``."""
+    n = len(cells)
+    rank = np.empty(n, dtype=np.int8)
+    num_vals = np.zeros(n, dtype=np.float64)
+    str_vals = [""] * n
+    for i, cell in enumerate(cells):
+        if cell is None:
+            rank[i] = _RANK_NULL
+        elif isinstance(cell, bool):
+            rank[i] = _RANK_NUM
+            num_vals[i] = float(cell)
+        elif isinstance(cell, (int, float)):
+            as_float = float(cell)   # row path's conversion; may overflow
+            if as_float != as_float:
+                rank[i] = _RANK_NAN
+            else:
+                rank[i] = _RANK_NUM
+                num_vals[i] = as_float
+        elif isinstance(cell, str):
+            rank[i] = _RANK_STR
+            str_vals[i] = cell
+        else:
+            rank[i] = _RANK_OTHER
+            str_vals[i] = str(cell)
+    codes = np.zeros(n, dtype=np.int64)
+    base = int((rank == _RANK_NULL).any())
+    num_mask = rank == _RANK_NUM
+    if num_mask.any():
+        uniq = np.unique(num_vals[num_mask])
+        codes[num_mask] = base + np.searchsorted(uniq, num_vals[num_mask])
+        base += uniq.size
+    nan_mask = rank == _RANK_NAN
+    if nan_mask.any():
+        codes[nan_mask] = base
+        base += 1
+    for text_rank in (_RANK_STR, _RANK_OTHER):
+        mask = rank == text_rank
+        if mask.any():
+            sub = np.array([str_vals[i] for i in np.flatnonzero(mask)])
+            uniq, inverse = np.unique(sub, return_inverse=True)
+            codes[mask] = base + inverse.reshape(-1)
+            base += uniq.size
+    return codes
+
+
+def _has_window(expr: Node) -> bool:
+    return any(isinstance(node, FuncCall) and node.window is not None
+               for node in walk(expr))
+
+
+def _order_permutation(order_by, values: list[_Val] | None,
+                       columns: list[str] | None, ctx) -> np.ndarray:
+    """The lexsort permutation for an ORDER BY clause.
+
+    Mirrors the row path's ``eval_order_expr`` resolution: positional
+    integer literals and unqualified output-alias references sort by the
+    output column; anything else compiles over the input relation.
+    ``np.lexsort`` treats its *last* key as primary, hence the reversal;
+    its stable mergesort matches ``sorted``'s tie behaviour.
+    """
+    keys: list[np.ndarray] = []
+    for item in order_by:
+        expr = item.expr
+        val: _Val | None = None
+        if isinstance(expr, Literal):
+            if isinstance(expr.value, int) and columns is not None \
+                    and 0 <= expr.value - 1 < len(columns):
+                val = values[expr.value - 1]
+            else:
+                val = _Val(const=expr.value)
+        elif isinstance(expr, ColumnRef) and expr.table is None \
+                and columns is not None:
+            lowered = expr.name.lower()
+            for idx, col in enumerate(columns):
+                if col.lower() == lowered:
+                    val = values[idx]
+                    break
+        if val is None:
+            if _has_window(expr):
+                raise _Ineligible    # row path raises: no window cache here
+            val = _compile_any(expr, ctx)
+        codes = _sort_codes(val, ctx.n)
+        keys.append(codes if item.ascending else -codes)
+    return np.lexsort(tuple(reversed(keys)))
+
+
+# ---------------------------------------------------------------------------
+# Window functions: partition-segment scans
+# ---------------------------------------------------------------------------
+def _compile_windows(items, ctx: _Ctx) -> None:
+    """Compile every windowed call in the items into ``ctx.windows``."""
+    for item in items:
+        for node in walk(item.expr):
+            if isinstance(node, FuncCall) and node.window is not None \
+                    and id(node) not in ctx.windows:
+                ctx.windows[id(node)] = _window_val(node, ctx)
+
+
+def _window_val(call: FuncCall, ctx: _Ctx) -> _Val:
+    """One window function as a per-row _Val over the whole relation.
+
+    Rows are lexsorted by (partition code, ORDER BY sort codes) — a
+    stable global sort whose restriction to each partition equals the
+    row path's per-partition sort — and each kernel then scans the
+    contiguous partition segments.
+    """
+    if call.name not in WINDOW_FUNCTIONS:
+        raise _Ineligible            # row path raises ExecutionError
+    spec = call.window
+    n = ctx.n
+    sub_exprs = (list(spec.partition_by)
+                 + [o.expr for o in spec.order_by] + list(call.args))
+    if any(_has_window(sub) for sub in sub_exprs):
+        raise _Ineligible            # nested window: row path raises
+    pcodes = _partition_codes(
+        [_compile_any(e, ctx) for e in spec.partition_by], ctx)
+    keys = [pcodes]
+    for o in spec.order_by:
+        codes = _sort_codes(_compile_any(o.expr, ctx), n)
+        keys.append(codes if o.ascending else -codes)
+    if len(keys) > 1:
+        order = np.lexsort(tuple(reversed(keys)))
+    else:
+        order = np.argsort(pcodes, kind="stable")
+    starts, ends = segment_bounds(pcodes[order])
+    args = [_compile_any(a, ctx) for a in call.args]
+    ordered = _window_kernel(call, args, ctx, order, starts, ends)
+    inverse = np.empty(n, dtype=np.intp)
+    inverse[order] = np.arange(n, dtype=np.intp)
+    return _gather_val(ordered, inverse)
+
+
+def _partition_codes(vals: list[_Val], ctx) -> np.ndarray:
+    """Codes equal exactly when the row path's partition keys are equal.
+
+    Partition identity is Python ``==`` over ``_hashable_row``-converted
+    key tuples, so the general path hashes cells through the very same
+    conversion.  NaN keys fall out naturally: the converted tuples
+    compare unequal, putting every NaN-keyed row in its own partition,
+    just as the row path's dict does.  A single NULL-free numeric or
+    string key skips the Python loop entirely.
+    """
+    n = ctx.n
+    if not vals:
+        return np.zeros(n, dtype=np.int64)
+    if len(vals) == 1:
+        v = vals[0]
+        if not v.is_const and v.null is None:
+            kind = v.data.dtype.kind
+            if kind in "iub" or kind == "U" or (
+                    kind == "f" and not np.isnan(v.data).any()) or (
+                    kind == "O" and _all_strings(_column_cells(v.data))):
+                _, inverse = np.unique(v.data, return_inverse=True)
+                return inverse.reshape(-1).astype(np.int64)
+    cell_lists = [_val_cells(v, n) for v in vals]
+    seen: dict = {}
+    codes = np.empty(n, dtype=np.int64)
+    for i, cells in enumerate(zip(*cell_lists)):
+        key = _hashable_row(cells)
+        code = seen.get(key)
+        if code is None:
+            code = len(seen)
+            seen[key] = code
+        codes[i] = code
+    return codes
+
+
+def _window_kernel(call: FuncCall, args: list[_Val], ctx: _Ctx,
+                   order: np.ndarray, starts: np.ndarray,
+                   ends: np.ndarray) -> _Val:
+    """Dispatch one window function over ordered partition segments."""
+    name = call.name
+    n = ctx.n
+    seg_start, seg_len, pos = segment_positions(starts, ends, n)
+    if name == "ROW_NUMBER" or (name == "RANK" and not args):
+        return _Val(data=(pos + 1).astype(np.int64))
+    if name == "RANK":
+        return _rank_kernel(args[0], order, n, starts, ends)
+    if name in ("LAG", "LEAD"):
+        if not args:
+            raise _Ineligible        # row path raises IndexError
+        return _shift_kernel(name, args, n, order, seg_start, seg_len, pos)
+    if name == "MOVING_AVG":
+        if not args:
+            raise _Ineligible
+        return _moving_avg_kernel(args, n, order, starts, ends)
+    raise _Ineligible
+
+
+def _rank_kernel(val: _Val, order: np.ndarray, n: int,
+                 starts: np.ndarray, ends: np.ndarray) -> _Val:
+    ordered = _gather_val(val, order)
+    if ordered.is_const:
+        c = ordered.const
+        if c is None or isinstance(c, (bool, int, float, str)):
+            # Every value equal (or None): nothing ranks strictly less.
+            return _Val(data=np.ones(n, dtype=np.int64))
+        raise _Ineligible            # c < c may raise; row path decides
+    data = ordered.data
+    kind = data.dtype.kind
+    if kind in "iub" or kind == "U":
+        uncounted = np.zeros(n, dtype=bool)
+    elif kind == "f":
+        uncounted = np.isnan(data)
+    else:
+        raise _Ineligible            # object cells: Python < may raise
+    if ordered.null is not None:
+        uncounted = uncounted | ordered.null
+    return _Val(data=segmented_rank(data, uncounted, starts, ends))
+
+
+def _const_window_param(args: list[_Val], index: int) -> Any:
+    """A LAG/LEAD/MOVING_AVG parameter, required constant."""
+    if len(args) <= index:
+        return None
+    if not args[index].is_const:
+        raise _Ineligible            # per-row parameters: row path only
+    return args[index].const
+
+
+def _shift_kernel(name: str, args: list[_Val], n: int, order: np.ndarray,
+                  seg_start: np.ndarray, seg_len: np.ndarray,
+                  pos: np.ndarray) -> _Val:
+    offset_const = _const_window_param(args, 1)
+    default = _const_window_param(args, 2)
+    try:
+        offset = int(offset_const) if offset_const is not None else 1
+    except (TypeError, ValueError):
+        raise _Ineligible from None  # row path raises the same error
+    src = _gather_val(args[0], order)
+    if src.is_const:
+        data = np.empty(n, dtype=object)
+        data.fill(src.const)
+        src = _Val(data=data,
+                   null=None if src.const is not None
+                   else np.ones(n, dtype=bool))
+    target, in_bounds = segmented_shift_targets(
+        seg_start, seg_len, pos, offset, lead=(name == "LEAD"))
+    gathered = src.data[target]
+    gathered_null = src.null[target] if src.null is not None else None
+    if default is None:
+        null = ~in_bounds
+        if gathered_null is not None:
+            null = null | gathered_null
+        return _Val(data=gathered, null=null)
+    kind = gathered.dtype.kind
+    if kind == "f" and type(default) is float:
+        data = np.where(in_bounds, gathered, default)
+    elif kind == "i" and type(default) is int and abs(default) < 2 ** 63:
+        data = np.where(in_bounds, gathered, default)
+    else:
+        out = np.empty(n, dtype=object)
+        for i, cell in enumerate(_column_cells(gathered)):
+            out[i] = cell
+        out[~in_bounds] = default
+        data = out
+    null = gathered_null & in_bounds if gathered_null is not None else None
+    return _Val(data=data, null=null)
+
+
+def _moving_avg_kernel(args: list[_Val], n: int, order: np.ndarray,
+                       starts: np.ndarray, ends: np.ndarray) -> _Val:
+    window_const = _const_window_param(args, 1)
+    try:
+        window = int(window_const) if window_const is not None else 5
+    except (TypeError, ValueError):
+        raise _Ineligible from None
+    src = args[0]
+    if src.is_const:
+        if src.const is None:
+            return _Val(const=None)
+        if not isinstance(src.const, (bool, int, float)):
+            raise _Ineligible        # np.mean would raise; row path decides
+        src = _Val(data=np.full(n, src.const))
+    if src.null is not None and src.null.any():
+        raise _Ineligible            # per-window NULL filtering: row path
+    if src.data.dtype.kind not in _NUMERIC_KINDS:
+        raise _Ineligible
+    if window < 1:
+        return _Val(const=None)      # every trailing window is empty
+    ordered = src.data[order]
+    return _Val(data=segmented_moving_avg(ordered, starts, ends, window))
+
+
+# ---------------------------------------------------------------------------
 # Executor entry points
 # ---------------------------------------------------------------------------
 def try_filter(relation, where: Node):
@@ -559,27 +999,31 @@ def try_project(stmt: Select, relation):
     """Columnar plain SELECT; returns the result Table or None.
 
     Bare column references are zero-copy vector selects; value
-    expressions (arithmetic, CAST, subscripts) compile to vectors.
-    ORDER BY, window functions, and scalar function calls fall back.
+    expressions (arithmetic, CAST, subscripts, comparisons) compile to
+    vectors; window functions run as partition-segment scans; ORDER BY
+    is one lexsort over the items' sort codes.  Scalar function calls
+    and CASE fall back.
     """
     from repro.sql.executor import Executor
 
-    if stmt.order_by:
-        return None
     try:
         ctx = _Ctx(relation)
         items = Executor._expand_stars(stmt.items, relation)
-        values = [_compile_value(item.expr, ctx) for item in items]
+        _compile_windows(items, ctx)
+        values = [_compile_any(item.expr, ctx) for item in items]
+        columns = Executor._dedupe_columns(
+            [Executor._output_name(item, idx)
+             for idx, item in enumerate(items)])
+        vectors = [_val_to_vector(val, ctx.n) for val in values]
+        if stmt.order_by:
+            perm = _order_permutation(stmt.order_by, values, columns, ctx)
+            vectors = [vec[perm] for vec in vectors]
     except _FALLBACK:
         return None
-    columns = Executor._dedupe_columns(
-        [Executor._output_name(item, idx) for idx, item in enumerate(items)]
-    )
-    return Table.from_columns(
-        columns, [_val_to_vector(val, ctx) for val in values])
+    return Table.from_columns(columns, vectors)
 
 
-def _val_to_vector(val: _Val, ctx: _Ctx) -> np.ndarray:
+def _val_to_vector(val: _Val, n: int) -> np.ndarray:
     """One compiled value as an output column vector.
 
     NULL-free vectors pass through as-is (views, not copies); vectors
@@ -587,13 +1031,13 @@ def _val_to_vector(val: _Val, ctx: _Ctx) -> np.ndarray:
     the row evaluator would have produced it.
     """
     if val.is_const:
-        out = np.empty(ctx.n, dtype=object)
+        out = np.empty(n, dtype=object)
         out.fill(val.const)
         return out
     if val.null is None or not val.null.any():
         return val.data
-    out = np.empty(ctx.n, dtype=object)
-    for i, cell in enumerate(_cells(val, ctx)):
+    out = np.empty(n, dtype=object)
+    for i, cell in enumerate(_column_cells(val.data)):
         out[i] = None if val.null[i] else cell
     return out
 
@@ -604,124 +1048,249 @@ def try_aggregate(stmt: Select, relation):
     Groups appear in first-occurrence order — the row path's dict
     insertion order — and each supported aggregate reduces over the
     group's rows in their original order, so outputs match the row
-    interpreter exactly.
+    interpreter exactly.  Items may be expressions over aggregates
+    (``SUM(v)/COUNT(*)``) and aggregate arguments may be expressions
+    (``SUM(a*b)``): both compile through the same value/bool compilers,
+    re-rooted on a synthetic per-group relation.  HAVING keeps groups
+    where its compiled mask is true; ORDER BY lexsorts the group rows.
     """
-    from repro.sql.executor import Executor, _Reversed, _SortKey
+    from repro.sql.executor import Executor
 
-    if stmt.having is not None:
-        return None
     try:
         ctx = _Ctx(relation)
-        plan = _plan_aggregate(stmt, ctx)
-    except _FALLBACK:
-        return None
-    columns = Executor._dedupe_columns(
-        [Executor._output_name(item, idx)
-         for idx, item in enumerate(stmt.items)]
-    )
-    order_idx: list[tuple[int, bool]] = []
-    for item in stmt.order_by:
-        expr = item.expr
-        if not isinstance(expr, ColumnRef):
-            return None
-        lowered = expr.name.lower()
-        matches = [i for i, c in enumerate(columns) if c.lower() == lowered]
-        if not matches:
-            return None
-        order_idx.append((matches[0], item.ascending))
-
-    try:
-        vectors = _compute_aggregate(plan, ctx, stmt)
-    except _FALLBACK:
-        return None
-    if vectors is None:                          # empty global group
-        row = tuple(_empty_group_cell(entry) for entry in plan)
-        return Table(columns, [row])
-    if not order_idx:
-        return Table.from_columns(columns, vectors)
-    cells = [_column_cells(v) for v in vectors]
-    rows = list(zip(*cells)) if cells else []
-    permutation = sorted(
-        range(len(rows)),
-        key=lambda i: tuple(
-            _SortKey(rows[i][idx]) if asc else _Reversed(_SortKey(rows[i][idx]))
-            for idx, asc in order_idx
-        ),
-    )
-    return Table(columns, [rows[i] for i in permutation])
-
-
-def _plan_aggregate(stmt: Select, ctx: _Ctx) -> list[tuple]:
-    """Classify items into ('first', idx) / ('count*',) / ('agg', name, idx).
-
-    Raises :class:`_Ineligible` for anything outside the subset.
-    """
-    for expr in stmt.group_by:
-        if not isinstance(expr, ColumnRef):
-            raise _Ineligible
-    plan: list[tuple] = []
-    for item in stmt.items:
-        expr = item.expr
-        if isinstance(expr, Star):
-            raise _Ineligible        # row path raises; let it
-        if isinstance(expr, ColumnRef):
-            plan.append(("first", ctx.relation.resolve(expr.name, expr.table)))
-            continue
-        if isinstance(expr, FuncCall) and is_aggregate(expr.name):
-            if (expr.name not in _COLUMNAR_AGGREGATES or expr.distinct
-                    or expr.window is not None):
+        for expr in stmt.group_by:
+            if not isinstance(expr, ColumnRef):
                 raise _Ineligible
-            if expr.name == "COUNT" and (
-                    not expr.args or isinstance(expr.args[0], Star)):
-                plan.append(("count*",))
-                continue
-            if len(expr.args) == 1 and isinstance(expr.args[0], ColumnRef):
-                arg = expr.args[0]
-                plan.append(
-                    ("agg", expr.name,
-                     ctx.relation.resolve(arg.name, arg.table)))
-                continue
+        for item in stmt.items:
+            if isinstance(item.expr, Star):
+                raise _Ineligible    # row path raises; let it
+        if not stmt.group_by and ctx.n == 0:
+            raise _Ineligible        # synthesized empty-group row: row path
+        columns = Executor._dedupe_columns(
+            [Executor._output_name(item, idx)
+             for idx, item in enumerate(stmt.items)])
+        key_idx = [ctx.relation.resolve(e.name, e.table)
+                   for e in stmt.group_by]
+        codes, n_groups = _group_codes(key_idx, ctx)
+        groups = _Groups(ctx, codes, n_groups)
+        item_vals = [groups.compile(item.expr) for item in stmt.items]
+        keep: np.ndarray | None = None
+        if stmt.having is not None:
+            rewritten = groups.rewrite(stmt.having, columns, item_vals)
+            keep, _ = _compile_bool(rewritten, groups.vals_ctx)
+        perm: np.ndarray | None = None
+        if stmt.order_by:
+            keys: list[np.ndarray] = []
+            for o in stmt.order_by:
+                rewritten = groups.rewrite(o.expr, columns, item_vals)
+                val = _compile_any(rewritten, groups.vals_ctx)
+                sort = _sort_codes(val, n_groups)
+                keys.append(sort if o.ascending else -sort)
+            if keep is not None:
+                keys = [k[keep] for k in keys]
+            perm = np.lexsort(tuple(reversed(keys)))
+        vectors = []
+        for val in item_vals:
+            vec = _val_to_vector(val, n_groups)
+            if keep is not None:
+                vec = vec[keep]
+            if perm is not None:
+                vec = vec[perm]
+            vectors.append(vec)
+    except _FALLBACK:
+        return None
+    return Table.from_columns(columns, vectors)
+
+
+class _SynthCtx:
+    """Compile context over synthesized (already-compiled) columns.
+
+    :class:`_Groups` stores each per-group value under a generated name
+    and hands the value/bool compilers ``ColumnRef``s to them — so the
+    whole expression machinery (arithmetic guards, 3VL, comparisons)
+    applies unchanged at the group level.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.relation = None
+        self.windows: dict[int, _Val] = {}
+        self._vals: dict[str, _Val] = {}
+
+    def add(self, val: _Val) -> ColumnRef:
+        name = f"__group_val_{len(self._vals)}"
+        self._vals[name] = val
+        return ColumnRef(name=name)
+
+    def column(self, ref: ColumnRef) -> _Val:
+        val = self._vals.get(ref.name)
+        if val is None:
+            raise _Ineligible
+        return val
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros(self.n, dtype=bool)
+
+    def ones(self) -> np.ndarray:
+        return np.ones(self.n, dtype=bool)
+
+
+class _Groups:
+    """Segmented view of a relation plus the aggregate-context compiler.
+
+    ``rewrite`` mirrors the row path's ``_eval_aggregate_expr`` shape:
+    aggregate calls reduce over segments, output-alias column refs bind
+    to already-computed item values, other column refs take the group's
+    first row, and connective nodes (arithmetic, comparisons, AND/OR,
+    CAST) recurse — rebuilt over :class:`_SynthCtx` references so the
+    ordinary compilers evaluate them per *group* instead of per row.
+    """
+
+    def __init__(self, ctx: _Ctx, codes: np.ndarray, n_groups: int) -> None:
+        self.ctx = ctx
+        self.n_groups = n_groups
+        self.order = np.argsort(codes, kind="stable")
+        self.counts = np.bincount(codes, minlength=n_groups).astype(np.int64)
+        starts = np.zeros(n_groups, dtype=np.intp)
+        if n_groups:
+            np.cumsum(self.counts[:-1], out=starts[1:])
+        self.starts = starts
+        self.ends = starts + self.counts
+        self.first_rows = self.order[starts]
+        self.vals_ctx = _SynthCtx(n_groups)
+
+    def compile(self, expr: Node) -> _Val:
+        return _compile_any(self.rewrite(expr, None, None), self.vals_ctx)
+
+    def rewrite(self, expr: Node, columns: list[str] | None,
+                item_vals: list[_Val] | None) -> Node:
+        if isinstance(expr, Literal):
+            return expr
+        if isinstance(expr, FuncCall) and expr.window is None \
+                and is_aggregate(expr.name):
+            return self.vals_ctx.add(self.aggregate(expr))
+        if isinstance(expr, ColumnRef):
+            if columns is not None:
+                lowered = expr.name.lower()
+                for idx, col in enumerate(columns):
+                    if col.lower() == lowered:
+                        return self.vals_ctx.add(item_vals[idx])
+            return self.vals_ctx.add(self.first_row_column(expr))
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(op=expr.op,
+                            left=self.rewrite(expr.left, columns, item_vals),
+                            right=self.rewrite(expr.right, columns,
+                                               item_vals))
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(op=expr.op,
+                           operand=self.rewrite(expr.operand, columns,
+                                                item_vals))
+        if isinstance(expr, Cast):
+            return Cast(expr=self.rewrite(expr.expr, columns, item_vals),
+                        type_name=expr.type_name)
+        if any(isinstance(node, FuncCall)
+               and (is_aggregate(node.name) or node.window is not None)
+               for node in walk(expr)):
+            raise _Ineligible        # aggregate under CASE/IN/...: row path
+        # Whole-subtree leaf (Subscript, Between, IsNull, ...): the row
+        # path evaluates these on the group's first row only.
+        return self.vals_ctx.add(self.first_row_expr(expr))
+
+    def first_row_column(self, ref: ColumnRef) -> _Val:
+        idx = self.ctx.relation.resolve(ref.name, ref.table)
+        data = self.ctx.relation.coldata[idx][self.first_rows]
+        null = None
+        if data.dtype == object:     # derive NULLs from the few gathered
+            mask = np.fromiter((cell is None for cell in data),
+                               dtype=bool, count=data.size)
+            null = mask if mask.any() else None
+        return _Val(data=data, null=null)
+
+    def first_row_expr(self, expr: Node) -> _Val:
+        if _has_window(expr):
+            raise _Ineligible
+        return _gather_val(_compile_any(expr, self.ctx), self.first_rows)
+
+    def aggregate(self, call: FuncCall) -> _Val:
+        if call.name not in _COLUMNAR_AGGREGATES or call.distinct:
+            raise _Ineligible
+        if call.name == "COUNT" and (
+                not call.args or isinstance(call.args[0], Star)):
+            return _Val(data=self.counts.copy())
+        if len(call.args) != 1:
+            raise _Ineligible        # row path raises ExecutionError
+        if _has_window(call.args[0]):
+            raise _Ineligible        # row path raises (no window cache)
+        return self.reduce(call.name, _compile_any(call.args[0], self.ctx))
+
+    def reduce(self, name: str, val: _Val) -> _Val:
+        """One aggregate over every group segment, NULLs excluded."""
+        if val.is_const:
+            if val.const is None:
+                if name == "COUNT":
+                    return _Val(data=np.zeros(self.n_groups, dtype=np.int64))
+                return _Val(const=None)
+            data = np.full(self.ctx.n, val.const)
+            if data.dtype == object:
+                raise _Ineligible
+            val = _Val(data=data)
+        null = val.null if val.null is not None and val.null.any() else None
+        if name == "COUNT":
+            if val.data.dtype.kind not in _NUMERIC_KINDS \
+                    and val.data.dtype.kind not in "UO":
+                raise _Ineligible
+            if null is None:
+                return _Val(data=self.counts.copy())
+            null_per_group = np.add.reduceat(
+                null[self.order].astype(np.int64), self.starts)
+            return _Val(data=self.counts - null_per_group)
+        if val.data.dtype.kind not in _NUMERIC_KINDS:
+            raise _Ineligible
+        ordered = val.data[self.order]
+        if null is None:
+            if name in ("MIN", "MAX"):
+                _guard_minmax(ordered)
+            return _Val(data=SEGMENTED_AGGREGATES[name](
+                ordered, self.starts, self.ends))
+        ordered_null = null[self.order]
+        kept = ordered[~ordered_null]
+        if name in ("MIN", "MAX"):
+            _guard_minmax(kept)
+        null_per_group = np.add.reduceat(
+            ordered_null.astype(np.int64), self.starts)
+        new_counts = self.counts - null_per_group
+        nonzero = new_counts > 0
+        nz_counts = new_counts[nonzero].astype(np.intp)
+        new_starts = np.zeros(nz_counts.size, dtype=np.intp)
+        if nz_counts.size:
+            np.cumsum(nz_counts[:-1], out=new_starts[1:])
+        part = SEGMENTED_AGGREGATES[name](
+            kept, new_starts, new_starts + nz_counts)
+        if nonzero.all():
+            return _Val(data=part)
+        # All-NULL groups aggregate to None: rebuild as an object vector.
+        out = np.empty(self.n_groups, dtype=object)
+        out[~nonzero] = None
+        cells = part.tolist()
+        for slot, cell in zip(np.flatnonzero(nonzero).tolist(), cells):
+            out[slot] = cell
+        return _Val(data=out, null=~nonzero)
+
+
+def _guard_minmax(values: np.ndarray) -> None:
+    """Fall back where reduceat MIN/MAX could differ from builtin min/max.
+
+    NaN makes Python's builtin min/max order-dependent, and a -0.0/0.0
+    mix makes "first minimal value wins" observable; both are outside
+    the bitwise-parity subset.
+    """
+    if values.dtype.kind != "f":
+        return
+    if np.isnan(values).any():
         raise _Ineligible
-    return plan
-
-
-def _empty_group_cell(entry: tuple) -> Any:
-    """The row-path value of one item over the empty global group."""
-    if entry[0] == "count*":
-        return 0
-    if entry[0] == "agg" and entry[1] == "COUNT":
-        return 0
-    return None                      # SUM/MIN/MAX/AVG of nothing, or a column
-
-
-def _compute_aggregate(plan: list[tuple], ctx: _Ctx, stmt: Select
-                       ) -> list[np.ndarray] | None:
-    n = ctx.n
-    if not stmt.group_by and n == 0:
-        return None                              # one empty global group
-    if stmt.group_by and n == 0:
-        return [np.empty(0, dtype=object) for _ in plan]
-
-    key_idx = [ctx.relation.resolve(e.name, e.table) for e in stmt.group_by]
-    codes, n_groups = _group_codes(key_idx, ctx)
-    order = np.argsort(codes, kind="stable")
-    counts = np.bincount(codes, minlength=n_groups)
-    starts = np.zeros(n_groups, dtype=np.intp)
-    np.cumsum(counts[:-1], out=starts[1:])
-    ends = starts + counts
-    first_rows = order[starts]
-
-    vectors: list[np.ndarray] = []
-    for entry in plan:
-        if entry[0] == "first":
-            vectors.append(ctx.relation.coldata[entry[1]][first_rows])
-        elif entry[0] == "count*":
-            vectors.append(counts.astype(np.int64))
-        else:
-            _, name, idx = entry
-            vectors.append(_reduce_column(
-                name, idx, ctx, order, starts, ends, counts))
-    return vectors
+    zeros = values == 0.0
+    if zeros.any() and np.signbit(values[zeros]).any():
+        raise _Ineligible
 
 
 def _group_codes(key_idx: list[int], ctx: _Ctx) -> tuple[np.ndarray, int]:
@@ -731,8 +1300,9 @@ def _group_codes(key_idx: list[int], ctx: _Ctx) -> tuple[np.ndarray, int]:
         return np.zeros(n, dtype=np.intp), 1
     if len(key_idx) == 1:
         col = ctx.relation.coldata[key_idx[0]]
-        if col.dtype.kind in "iub" or (
-                col.dtype.kind == "f" and not np.isnan(col).any()):
+        if col.dtype.kind in "iubU" or (
+                col.dtype.kind == "f" and not np.isnan(col).any()) or (
+                col.dtype.kind == "O" and _all_strings(_column_cells(col))):
             # np.unique orders groups by value; remap to first-occurrence
             # order, which is what the row path's dict iteration yields.
             _, first, inverse = np.unique(
@@ -767,29 +1337,195 @@ def _group_codes(key_idx: list[int], ctx: _Ctx) -> tuple[np.ndarray, int]:
     return codes, len(seen)
 
 
-def _reduce_column(name: str, idx: int, ctx: _Ctx, order: np.ndarray,
-                   starts: np.ndarray, ends: np.ndarray,
-                   counts: np.ndarray) -> np.ndarray:
-    col = ctx.relation.coldata[idx]
-    numeric = col.dtype.kind in _NUMERIC_KINDS
-    if name == "COUNT":
-        if numeric:
-            return counts.astype(np.int64)       # NaN counts: it is not NULL
-        null = ctx.null_for(idx)
-        if null is None:
-            return counts.astype(np.int64)
-        null_per_group = np.add.reduceat(
-            null[order].astype(np.int64), starts)
-        return counts.astype(np.int64) - null_per_group
-    if not numeric:
-        raise _Ineligible
-    if name in ("MIN", "MAX") and col.dtype.kind == "f":
-        if np.isnan(col).any():
-            raise _Ineligible        # builtin min/max are order-dependent
-        zeros = col == 0.0
-        if zeros.any() and np.signbit(col[zeros]).any():
-            raise _Ineligible        # -0.0 vs 0.0: first-seen wins in rows
-    return SEGMENTED_AGGREGATES[name](col[order], starts, ends)
+# ---------------------------------------------------------------------------
+# Hash equi-join over key-code vectors
+# ---------------------------------------------------------------------------
+def try_join(kind: str, left, right, equi_pairs, residual):
+    """Columnar hash join; returns the joined _Relation or None.
+
+    Both sides' equi-key expressions compile to vectors and factorize to
+    shared integer codes (code -1 for NULL keys, which never match —
+    the row path's bucket skip).  Matching is one sort of the right
+    codes plus a ``searchsorted`` probe per left row; candidate pairs
+    expand with ``np.repeat`` in exactly the row path's order (left-
+    major, right buckets in right-row order).  Residual conjuncts
+    compile to a 3VL mask over the gathered candidate columns.  LEFT/
+    FULL null rows interleave at their left row's position via a stable
+    sort; RIGHT/FULL unmatched rows append in right-row order.
+    """
+    from repro.sql.executor import _Relation
+
+    try:
+        lcodes, rcodes = _combined_key_codes(equi_pairs, left, right)
+        nl, nr = lcodes.size, rcodes.size
+        r_valid = np.flatnonzero(rcodes >= 0)
+        r_order = r_valid[np.argsort(rcodes[r_valid], kind="stable")]
+        sorted_r = rcodes[r_order]
+        lo = np.searchsorted(sorted_r, lcodes, side="left")
+        hi = np.searchsorted(sorted_r, lcodes, side="right")
+        counts = hi - lo
+        counts[lcodes < 0] = 0
+        total = int(counts.sum())
+        left_idx = np.repeat(np.arange(nl, dtype=np.intp), counts)
+        offsets = np.arange(total, dtype=np.intp) - np.repeat(
+            np.cumsum(counts) - counts, counts)
+        right_idx = r_order[np.repeat(lo, counts) + offsets]
+        if residual is not None:
+            candidates = _Relation(
+                left.columns + right.columns,
+                coldata=[col[left_idx] for col in left.coldata]
+                + [col[right_idx] for col in right.coldata])
+            keep, _ = _compile_bool(residual, _Ctx(candidates))
+            left_idx = left_idx[keep]
+            right_idx = right_idx[keep]
+        if kind in ("LEFT", "FULL"):
+            matched_left = np.zeros(nl, dtype=bool)
+            matched_left[left_idx] = True
+            unmatched = np.flatnonzero(~matched_left)
+            if unmatched.size:
+                all_left = np.concatenate([left_idx, unmatched])
+                all_right = np.concatenate(
+                    [right_idx,
+                     np.full(unmatched.size, -1, dtype=np.intp)])
+                order = np.argsort(all_left, kind="stable")
+                left_idx = all_left[order]
+                right_idx = all_right[order]
+        if kind in ("RIGHT", "FULL"):
+            matched_right = np.zeros(nr, dtype=bool)
+            matched_right[right_idx[right_idx >= 0]] = True
+            tail = np.flatnonzero(~matched_right)
+            if tail.size:
+                left_idx = np.concatenate(
+                    [left_idx, np.full(tail.size, -1, dtype=np.intp)])
+                right_idx = np.concatenate([right_idx, tail])
+        coldata = ([_gather_or_null(col, left_idx) for col in left.coldata]
+                   + [_gather_or_null(col, right_idx)
+                      for col in right.coldata])
+    except _FALLBACK:
+        return None
+    return _Relation(left.columns + right.columns, coldata=coldata)
+
+
+def _combined_key_codes(pairs, left, right
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Joint factorization of every equi-key pair, mixed-radix combined.
+
+    Rows match exactly when every per-pair code matches; a NULL in any
+    key makes the whole key -1 (never matching), as in the row path's
+    ``any(part is None ...)`` skip.
+    """
+    lctx, rctx = _Ctx(left), _Ctx(right)
+    l_total = np.zeros(lctx.n, dtype=np.int64)
+    r_total = np.zeros(rctx.n, dtype=np.int64)
+    l_valid = np.ones(lctx.n, dtype=bool)
+    r_valid = np.ones(rctx.n, dtype=bool)
+    radix = 1
+    for lexpr, rexpr in pairs:
+        lval = _compile_any(lexpr, lctx)
+        rval = _compile_any(rexpr, rctx)
+        lc, rc, size = _pair_codes(lval, rval, lctx.n, rctx.n)
+        size = max(size, 1)
+        radix *= size
+        if radix > 2 ** 62:
+            raise _Ineligible        # combined code could overflow int64
+        l_valid &= lc >= 0
+        r_valid &= rc >= 0
+        l_total = l_total * size + np.where(lc >= 0, lc, 0)
+        r_total = r_total * size + np.where(rc >= 0, rc, 0)
+    l_total[~l_valid] = -1
+    r_total[~r_valid] = -1
+    return l_total, r_total
+
+
+def _pair_codes(lval: _Val, rval: _Val, nl: int, nr: int
+                ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Shared dense codes for one equi-key pair (-1 marks NULL).
+
+    Key equality must be Python ``==`` over ``_hashable_row``-converted
+    values — the row path's dict-bucket identity.  Float64 coding gives
+    that for numeric keys (int/float cross-type equality included) while
+    ints stay float64-representable; NaN keys fall back entirely,
+    because a dict matches two NaNs only when they are the *same object*
+    (possible in self-joins), which no value-based coding can express.
+    """
+    if not lval.is_const and not rval.is_const:
+        lk, rk = lval.data.dtype.kind, rval.data.dtype.kind
+        if lk in "iubf" and rk in "iubf":
+            for arr in (lval.data, rval.data):
+                if arr.dtype.kind in "iu" and _abs_bound(arr) > 2 ** 53:
+                    raise _Ineligible
+                if arr.dtype.kind == "f" and np.isnan(arr).any():
+                    raise _Ineligible
+            lf = lval.data.astype(np.float64)
+            rf = rval.data.astype(np.float64)
+            uniq = np.unique(np.concatenate([lf, rf]))
+            lcodes = np.searchsorted(uniq, lf).astype(np.int64)
+            rcodes = np.searchsorted(uniq, rf).astype(np.int64)
+        elif lk == "U" and rk == "U":
+            uniq = np.unique(np.concatenate([lval.data, rval.data]))
+            lcodes = np.searchsorted(uniq, lval.data).astype(np.int64)
+            rcodes = np.searchsorted(uniq, rval.data).astype(np.int64)
+        elif (lk == "O" and rk == "O"
+                and lval.null is None and rval.null is None
+                and _all_strings(_column_cells(lval.data))
+                and _all_strings(_column_cells(rval.data))):
+            uniq, inverse = np.unique(
+                np.concatenate([lval.data, rval.data]), return_inverse=True)
+            inverse = inverse.reshape(-1).astype(np.int64)
+            lcodes = inverse[:nl].copy()
+            rcodes = inverse[nl:].copy()
+        else:
+            return _dict_pair_codes(lval, rval, nl, nr)
+        if lval.null is not None:
+            lcodes[lval.null] = -1
+        if rval.null is not None:
+            rcodes[rval.null] = -1
+        return lcodes, rcodes, int(uniq.size)
+    return _dict_pair_codes(lval, rval, nl, nr)
+
+
+def _dict_pair_codes(lval: _Val, rval: _Val, nl: int, nr: int
+                     ) -> tuple[np.ndarray, np.ndarray, int]:
+    """General key coding through the row path's own hash conversion."""
+    seen: dict = {}
+    lcodes = np.empty(nl, dtype=np.int64)
+    rcodes = np.empty(nr, dtype=np.int64)
+    for cells, codes in ((_val_cells(lval, nl), lcodes),
+                         (_val_cells(rval, nr), rcodes)):
+        for i, cell in enumerate(cells):
+            if cell is None:
+                codes[i] = -1
+                continue
+            key = _hashable_row((cell,))[0]
+            if _contains_nan(key):
+                raise _Ineligible    # NaN matches by identity in a dict
+            code = seen.get(key)
+            if code is None:
+                code = len(seen)
+                seen[key] = code
+            codes[i] = code
+    return lcodes, rcodes, len(seen)
+
+
+def _contains_nan(obj: Any) -> bool:
+    if isinstance(obj, float):
+        return obj != obj
+    if isinstance(obj, tuple):
+        return any(_contains_nan(part) for part in obj)
+    return False
+
+
+def _gather_or_null(col: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """``col[idx]`` where index -1 yields a NULL (outer-join padding)."""
+    missing = idx < 0
+    if not missing.any():
+        return col[idx]
+    out = np.empty(idx.size, dtype=object)     # object arrays init to None
+    present = np.flatnonzero(~missing)
+    cells = _column_cells(col[idx[present]])
+    for slot, cell in zip(present.tolist(), cells):
+        out[slot] = cell
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -825,31 +1561,76 @@ def predicate_shape_eligible(expr: Node) -> bool:
     return True
 
 
+def _agg_expr_eligible(expr: Node) -> bool:
+    """Shape check for one expression in aggregate context."""
+    if isinstance(expr, (Literal, ColumnRef)):
+        return True
+    if isinstance(expr, FuncCall):
+        if expr.window is not None or expr.distinct \
+                or expr.name not in _COLUMNAR_AGGREGATES:
+            return False
+        if expr.name == "COUNT" and (
+                not expr.args or isinstance(expr.args[0], Star)):
+            return True
+        return len(expr.args) == 1 \
+            and predicate_shape_eligible(expr.args[0])
+    if isinstance(expr, BinaryOp):
+        return _agg_expr_eligible(expr.left) \
+            and _agg_expr_eligible(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _agg_expr_eligible(expr.operand)
+    if isinstance(expr, Cast):
+        return _agg_expr_eligible(expr.expr)
+    return predicate_shape_eligible(expr)    # whole-subtree first-row leaf
+
+
 def aggregate_shape_eligible(stmt: Select) -> bool:
     """Static shape check for the segmented-aggregation path.
 
-    True when every GROUP BY key is a bare column and every item is a
-    key/column reference, ``COUNT(*)``, or a supported aggregate over
-    one column.  Like :func:`predicate_shape_eligible`, runtime dtypes
-    can still force the row path (e.g. MIN over an object column).
+    True when every GROUP BY key is a bare column and every item,
+    HAVING clause, and ORDER BY key is an expression over supported
+    aggregates, columns, and literals.  Like
+    :func:`predicate_shape_eligible`, runtime dtypes can still force
+    the row path (e.g. MIN over an object column).
     """
-    if stmt.having is not None:
-        return False
     if not all(isinstance(e, ColumnRef) for e in stmt.group_by):
         return False
-    for item in stmt.order_by:
-        if not isinstance(item.expr, ColumnRef):
-            return False
     for item in stmt.items:
-        expr = item.expr
-        if isinstance(expr, ColumnRef):
-            continue
-        if isinstance(expr, FuncCall) and expr.name in _COLUMNAR_AGGREGATES \
-                and not expr.distinct and expr.window is None:
-            if expr.name == "COUNT" and (
-                    not expr.args or isinstance(expr.args[0], Star)):
-                continue
-            if len(expr.args) == 1 and isinstance(expr.args[0], ColumnRef):
-                continue
+        if isinstance(item.expr, Star) or not _agg_expr_eligible(item.expr):
+            return False
+    if stmt.having is not None and not _agg_expr_eligible(stmt.having):
         return False
-    return True
+    return all(_agg_expr_eligible(o.expr) for o in stmt.order_by)
+
+
+def order_shape_eligible(order_by) -> bool:
+    """Static shape check for a plain SELECT's ORDER BY clause."""
+    return all(isinstance(o.expr, (Literal, ColumnRef))
+               or predicate_shape_eligible(o.expr)
+               for o in order_by)
+
+
+def window_shape_eligible(call: FuncCall) -> bool:
+    """Static shape check for one windowed function call."""
+    if call.window is None or call.name not in WINDOW_FUNCTIONS:
+        return False
+    spec = call.window
+    subs = (list(spec.partition_by) + [o.expr for o in spec.order_by]
+            + list(call.args))
+    return all(isinstance(sub, (Literal, ColumnRef))
+               or predicate_shape_eligible(sub)
+               for sub in subs)
+
+
+def join_shape_eligible(join) -> bool:
+    """Static shape check for the hash-join path: any ``=`` conjunct."""
+    if join.kind == "CROSS" or join.condition is None:
+        return False
+    return any(isinstance(conj, BinaryOp) and conj.op == "="
+               for conj in _flatten_conjuncts(join.condition))
+
+
+def _flatten_conjuncts(node: Node) -> list[Node]:
+    if isinstance(node, BinaryOp) and node.op == "AND":
+        return _flatten_conjuncts(node.left) + _flatten_conjuncts(node.right)
+    return [node]

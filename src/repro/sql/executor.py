@@ -22,6 +22,7 @@ bitwise-identical tables.
 from __future__ import annotations
 
 import functools
+import math
 from typing import Any, Callable, Sequence
 
 from repro.sql.errors import ExecutionError, SchemaError
@@ -66,6 +67,11 @@ from repro.sql.semantics import (
     sql_compare as _sql_compare,
 )
 from repro.sql.table import Table, _hashable_row, _column_cells
+
+# The columnar tier only imports this module lazily (inside its
+# functions), so the top-level import is cycle-free — and it keeps the
+# module-compile cost out of the first query's latency.
+from repro.sql import columnar
 
 
 class _Relation:
@@ -156,7 +162,14 @@ class _Relation:
 
 
 class _SortKey:
-    """Total-order wrapper: NULLs first, then by (type-class, value)."""
+    """Total-order wrapper: NULLs first, then by (type-class, value).
+
+    NaN gets its own rank bucket after every number: ``float('nan')``
+    compares false against everything (including itself), so ranking it
+    through ``float(value)`` would make the ordering non-transitive and
+    the resulting sort order input-order-dependent.  All NaNs compare
+    equal to each other here and greater than any non-NaN number.
+    """
 
     __slots__ = ("value",)
 
@@ -166,11 +179,14 @@ class _SortKey:
     def _rank(self) -> tuple:
         value = self.value
         if value is None:
-            return (0, 0)
+            return (0, 0, 0.0)
         if isinstance(value, bool):
-            return (1, int(value))
+            return (1, 0, float(value))
         if isinstance(value, (int, float)):
-            return (1, float(value))
+            as_float = float(value)
+            if math.isnan(as_float):
+                return (1, 1, 0.0)
+            return (1, 0, as_float)
         if isinstance(value, str):
             return (2, value)
         return (3, str(value))
@@ -248,6 +264,8 @@ class Executor:
             relation = _Relation.from_table(merged, None)
             order = self._order_permutation(relation, stmt.order_by, None)
             merged = Table(merged.columns, [merged.rows[i] for i in order])
+        if stmt.offset:
+            merged = merged.slice_rows(stmt.offset, None)
         if stmt.limit is not None:
             merged = merged.limit(stmt.limit)
         return merged
@@ -256,8 +274,6 @@ class Executor:
     # SELECT
     # ------------------------------------------------------------------
     def _execute_select(self, stmt: Select) -> Table:
-        from repro.sql import columnar
-
         relation = self._build_source(stmt.source)
         if stmt.where is not None:
             self._reject_aggregates(stmt.where, "WHERE")
@@ -327,6 +343,12 @@ class Executor:
         equi_pairs, residual = self._extract_equi_keys(
             join.condition, left, right, combined
         )
+        if equi_pairs and self._columnar and left.coldata is not None \
+                and right.coldata is not None:
+            joined = columnar.try_join(join.kind, left, right,
+                                       equi_pairs, residual)
+            if joined is not None:
+                return joined
         rows: list[tuple] = []
         matched_right: set[int] = set()
 
@@ -517,16 +539,7 @@ class Executor:
         result: list[Any] = [None] * n
         for indexes in partitions.values():
             if spec.order_by:
-                def order_key(i: int) -> tuple:
-                    return tuple(
-                        _SortKey(self._eval(o.expr, relation,
-                                            relation.rows[i]))
-                        for o in spec.order_by
-                    )
-                ordered = sorted(indexes, key=order_key)
-                # Honour DESC by reversing when the first key descends
-                # (mixed-direction specs are resolved per item below).
-                ordered = self._apply_directions(ordered, spec.order_by,
+                ordered = self._apply_directions(indexes, spec.order_by,
                                                  relation)
             else:
                 ordered = indexes

@@ -314,6 +314,79 @@ SCALARS: dict[str, Callable[..., Any]] = {
     "MAP_VALUES": _scalar_map_values,
 }
 
+# ---------------------------------------------------------------------------
+# Segmented window kernels: the columnar executor's window-function
+# machinery.  A statement's rows are lexsorted by (partition code, ORDER
+# BY keys); each partition is then one contiguous segment
+# ``[starts[g]:ends[g]]`` of the sorted order, and every kernel computes
+# one whole window column over those segments at once instead of
+# evaluating the function row by row.  Parity with
+# :func:`eval_window_function` is exact: the kernels perform the same
+# arithmetic (``np.mean`` over the same slice, the same comparison
+# counts) the per-row evaluator performs.
+# ---------------------------------------------------------------------------
+def segment_bounds(sorted_codes: np.ndarray
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """(starts, ends) of equal-code runs in an already-sorted code vector."""
+    n = sorted_codes.size
+    if n == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty.copy()
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    starts = np.concatenate([[0], boundaries]).astype(np.intp)
+    ends = np.concatenate([boundaries, [n]]).astype(np.intp)
+    return starts, ends
+
+
+def segment_positions(starts: np.ndarray, ends: np.ndarray, n: int
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-sorted-position (segment start, segment length, offset in segment)."""
+    lengths = ends - starts
+    seg_start = np.repeat(starts, lengths)
+    seg_len = np.repeat(lengths, lengths)
+    pos = np.arange(n, dtype=np.intp) - seg_start
+    return seg_start, seg_len, pos
+
+
+def segmented_shift_targets(seg_start: np.ndarray, seg_len: np.ndarray,
+                            pos: np.ndarray, offset: int, lead: bool
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """LAG/LEAD source positions: (global target index, in-bounds mask)."""
+    target = pos + offset if lead else pos - offset
+    valid = (target >= 0) & (target < seg_len)
+    return seg_start + np.clip(target, 0, np.maximum(seg_len - 1, 0)), valid
+
+
+def segmented_rank(values: np.ndarray, uncounted: np.ndarray,
+                   starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """RANK(expr): 1 + count of comparable segment values strictly less.
+
+    ``uncounted`` marks NULL/NaN positions — per the row evaluator they
+    neither count toward any rank nor rank above anything (rank 1).
+    """
+    out = np.empty(values.size, dtype=np.int64)
+    for s, e in zip(starts.tolist(), ends.tolist()):
+        seg = values[s:e]
+        skip = uncounted[s:e]
+        ordered = np.sort(seg[~skip])
+        counts = np.searchsorted(ordered, seg, side="left")
+        counts[skip] = 0
+        out[s:e] = counts + 1
+    return out
+
+
+def segmented_moving_avg(values: np.ndarray, starts: np.ndarray,
+                         ends: np.ndarray, window: int) -> np.ndarray:
+    """MOVING_AVG over NULL-free values: one ``np.mean`` per trailing
+    window, exactly the reduction the per-row evaluator issues."""
+    out = np.empty(values.size, dtype=np.float64)
+    for s, e in zip(starts.tolist(), ends.tolist()):
+        for i in range(s, e):
+            lo = max(s, i - window + 1)
+            out[i] = np.mean(values[lo:i + 1])
+    return out
+
+
 # Window functions computed over an ordered partition.
 WINDOW_FUNCTIONS = frozenset({"LAG", "LEAD", "ROW_NUMBER", "RANK", "MOVING_AVG"})
 

@@ -171,6 +171,7 @@ class Union(Node):
     all: bool = False
     order_by: tuple[OrderItem, ...] = ()
     limit: int | None = None
+    offset: int | None = None
 
 
 def walk(node: Node):

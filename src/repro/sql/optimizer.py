@@ -56,7 +56,7 @@ def optimize(stmt: Node) -> Node:
     if isinstance(stmt, Union):
         return Union(left=optimize(stmt.left), right=optimize(stmt.right),
                      all=stmt.all, order_by=stmt.order_by,
-                     limit=stmt.limit)
+                     limit=stmt.limit, offset=stmt.offset)
     if isinstance(stmt, Select):
         return _optimize_select(stmt)
     return stmt

@@ -115,27 +115,29 @@ class _Parser:
             right = self._parse_select_core()
             left = Union(left=left, right=right, all=all_flag)
         if isinstance(left, Union):
-            # A trailing ORDER BY / LIMIT was greedily consumed by the
-            # final member select; per standard SQL it binds to the whole
-            # union, so hoist it.
+            # A trailing ORDER BY / LIMIT / OFFSET was greedily consumed
+            # by the final member select; per standard SQL it binds to the
+            # whole union, so hoist it.
             order_by = self._parse_order_by()
-            limit, _ = self._parse_limit_offset()
+            limit, offset = self._parse_limit_offset()
             rightmost = left.right
-            if (not order_by and limit is None
+            if (not order_by and limit is None and offset is None
                     and isinstance(rightmost, Select)
-                    and (rightmost.order_by or rightmost.limit is not None)):
+                    and (rightmost.order_by or rightmost.limit is not None
+                         or rightmost.offset is not None)):
                 order_by = rightmost.order_by
                 limit = rightmost.limit
+                offset = rightmost.offset
                 stripped = Select(
                     items=rightmost.items, source=rightmost.source,
                     where=rightmost.where, group_by=rightmost.group_by,
                     having=rightmost.having, order_by=(), limit=None,
-                    offset=rightmost.offset, distinct=rightmost.distinct,
+                    offset=None, distinct=rightmost.distinct,
                 )
                 left = Union(left=left.left, right=stripped, all=left.all)
-            if order_by or limit is not None:
+            if order_by or limit is not None or offset is not None:
                 left = Union(left=left.left, right=left.right, all=left.all,
-                             order_by=order_by, limit=limit)
+                             order_by=order_by, limit=limit, offset=offset)
         return left
 
     def _parse_select_core(self) -> Node:

@@ -4,21 +4,25 @@
 filtering subqueries the optimizer injected — mirroring how the paper's
 users inspect Spark SQL plans when a hypothesis query misbehaves.
 
-Filter and Aggregate nodes whose *shape* fits the columnar executor's
-compilable subset are tagged ``[columnar-eligible]``; whether the fast
-path actually runs additionally depends on the scanned table being
-column-backed and on runtime column dtypes (see
-:mod:`repro.sql.columnar`).
+Filter, Aggregate, Sort, Window, and Join nodes whose *shape* fits the
+columnar executor's compilable subset are tagged
+``[columnar-eligible]``; whether the fast path actually runs
+additionally depends on the scanned table being column-backed and on
+runtime column dtypes (see :mod:`repro.sql.columnar`).
 """
 
 from __future__ import annotations
 
 from repro.sql.columnar import (
     aggregate_shape_eligible,
+    join_shape_eligible,
+    order_shape_eligible,
     predicate_shape_eligible,
+    window_shape_eligible,
 )
 from repro.sql.executor import render
 from repro.sql.nodes import (
+    FuncCall,
     Join,
     Node,
     Select,
@@ -27,6 +31,7 @@ from repro.sql.nodes import (
     SubqueryRef,
     TableRef,
     Union,
+    walk,
 )
 
 
@@ -49,6 +54,8 @@ def _render_node(node: Node, lines: list[str], depth: int) -> None:
             extras.append(f"orderBy={len(node.order_by)} keys")
         if node.limit is not None:
             extras.append(f"limit={node.limit}")
+        if node.offset:
+            extras.append(f"offset={node.offset}")
         suffix = f" [{', '.join(extras)}]" if extras else ""
         lines.append(f"{_pad(depth)}{label}{suffix}")
         _render_node(node.left, lines, depth + 1)
@@ -74,11 +81,24 @@ def _render_select(stmt: Select, lines: list[str], depth: int) -> None:
     suffix = f" [{', '.join(qualifiers)}]" if qualifiers else ""
     lines.append(f"{_pad(depth)}Project({projection}){suffix}")
     inner = depth + 1
+    aggregated = bool(stmt.group_by) or stmt.having is not None
     if stmt.order_by:
         keys = ", ".join(
             render(o.expr) + ("" if o.ascending else " DESC")
             for o in stmt.order_by)
-        lines.append(f"{_pad(inner)}Sort({keys})")
+        sort_tag = " [columnar-eligible]" \
+            if not aggregated and order_shape_eligible(stmt.order_by) else ""
+        lines.append(f"{_pad(inner)}Sort({keys}){sort_tag}")
+        inner += 1
+    window_calls = [node for item in stmt.items
+                    if not isinstance(item.expr, Star)
+                    for node in walk(item.expr)
+                    if isinstance(node, FuncCall) and node.window is not None]
+    if window_calls:
+        names = ", ".join(dict.fromkeys(c.name for c in window_calls))
+        window_tag = " [columnar-eligible]" \
+            if all(window_shape_eligible(c) for c in window_calls) else ""
+        lines.append(f"{_pad(inner)}Window({names}){window_tag}")
         inner += 1
     if stmt.group_by or stmt.having is not None:
         keys = ", ".join(render(g) for g in stmt.group_by) or "<global>"
@@ -123,7 +143,10 @@ def _render_source(source: Node | None, lines: list[str],
     if isinstance(source, Join):
         condition = (f" on {render(source.condition)}"
                      if source.condition is not None else "")
-        lines.append(f"{_pad(depth)}{source.kind.title()}Join{condition}")
+        join_tag = " [columnar-eligible]" if join_shape_eligible(source) \
+            else ""
+        lines.append(f"{_pad(depth)}{source.kind.title()}Join{condition}"
+                     f"{join_tag}")
         _render_source(source.left, lines, depth + 1)
         _render_source(source.right, lines, depth + 1)
         return

@@ -17,6 +17,8 @@ import io
 from pathlib import Path
 from typing import TextIO
 
+import numpy as np
+
 from repro.tsdb.ingest import load_lines
 from repro.tsdb.model import SeriesId
 from repro.tsdb.storage import TimeSeriesStore
@@ -25,7 +27,14 @@ _SNAPSHOT_HEADER = "# repro-tsdb-snapshot v1"
 
 
 def dump_store(store: TimeSeriesStore, target: TextIO) -> int:
-    """Write a snapshot; returns the number of lines written."""
+    """Write a snapshot; returns the number of lines written.
+
+    The timestamp union across sibling measurements is computed with one
+    ``np.unique`` over the concatenated timestamp arrays, and each
+    measurement's points are merged into their output lines through a
+    vectorized ``searchsorted`` instead of a per-point dict walk; only
+    the value formatting itself touches Python per point.
+    """
     target.write(_SNAPSHOT_HEADER + "\n")
     # Group series by (base name, tags) so sibling measurements share lines.
     grouped: dict[tuple[str, tuple], dict[str, SeriesId]] = {}
@@ -38,14 +47,18 @@ def dump_store(store: TimeSeriesStore, target: TextIO) -> int:
     for (base, tags), measurements in sorted(grouped.items()):
         tag_text = ",".join(f"{k}={v}" for k, v in tags)
         metric = f"{base}{{{tag_text}}}" if tag_text else base
-        # Collect the union of timestamps across sibling measurements.
-        by_ts: dict[int, list[str]] = {}
-        for key in sorted(measurements):
-            ts_arr, values = store.arrays(measurements[key])
-            for t, v in zip(ts_arr.tolist(), values.tolist()):
-                by_ts.setdefault(int(t), []).append(f"{key}={v!r}")
-        for t in sorted(by_ts):
-            target.write(f"{t} {metric} {' '.join(by_ts[t])}\n")
+        keys = sorted(measurements)
+        columns = [store.arrays(measurements[key]) for key in keys]
+        union_ts = np.unique(np.concatenate(
+            [ts_arr for ts_arr, _ in columns])) if columns else \
+            np.empty(0, dtype=np.int64)
+        parts: list[list[str]] = [[] for _ in range(union_ts.size)]
+        for key, (ts_arr, values) in zip(keys, columns):
+            positions = np.searchsorted(union_ts, ts_arr).tolist()
+            for pos, value in zip(positions, values.tolist()):
+                parts[pos].append(f"{key}={value!r}")
+        for t, cells in zip(union_ts.tolist(), parts):
+            target.write(f"{t} {metric} {' '.join(cells)}\n")
             lines += 1
     return lines
 

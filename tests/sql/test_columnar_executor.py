@@ -246,10 +246,10 @@ class TestColumnarProject:
         assert_parity("SELECT timestamp FROM tsdb "
                       "WHERE value > 0 LIMIT 4 OFFSET 2")
 
-    def test_order_by_falls_back_identically(self):
+    def test_order_by_runs_columnar(self):
         assert_parity("SELECT timestamp, value FROM tsdb "
                       "WHERE value > 0 ORDER BY value DESC",
-                      expect_lazy=False)
+                      expect_lazy=True)
 
     def test_scalar_functions_fall_back_identically(self):
         assert_parity("SELECT UPPER(metric_name) AS u FROM tsdb "
@@ -335,10 +335,40 @@ class TestColumnarAggregate:
         assert_parity("SELECT metric_name, MAX(value) AS hi FROM tsdb "
                       "GROUP BY metric_name", table=table)
 
-    def test_having_and_distinct_agg_fall_back_identically(self):
+    def test_having_runs_columnar(self):
         assert_parity("SELECT metric_name, COUNT(*) AS n FROM tsdb "
-                      "GROUP BY metric_name HAVING COUNT(*) > 5")
+                      "GROUP BY metric_name HAVING COUNT(*) > 5",
+                      expect_lazy=True)
+
+    def test_having_on_output_alias(self):
+        assert_parity("SELECT metric_name, COUNT(*) AS n FROM tsdb "
+                      "GROUP BY metric_name HAVING n > 5",
+                      expect_lazy=True)
+
+    def test_having_filters_everything(self):
+        result = assert_parity(
+            "SELECT metric_name, COUNT(*) AS n FROM tsdb "
+            "GROUP BY metric_name HAVING COUNT(*) > 1000",
+            expect_lazy=True)
+        assert len(result.rows) == 0
+
+    def test_distinct_agg_falls_back_identically(self):
         assert_parity("SELECT COUNT(DISTINCT metric_name) AS n FROM tsdb")
+
+    def test_aggregate_expression_arguments(self):
+        assert_parity("SELECT metric_name, SUM(value * value) AS sq, "
+                      "MIN(value + 1) AS lo FROM tsdb GROUP BY metric_name",
+                      expect_lazy=True)
+
+    def test_group_level_item_expressions(self):
+        assert_parity("SELECT metric_name, SUM(value) / COUNT(*) AS r, "
+                      "MAX(timestamp) - MIN(timestamp) AS span "
+                      "FROM tsdb GROUP BY metric_name", expect_lazy=True)
+
+    def test_order_by_aggregate_expression_desc(self):
+        assert_parity("SELECT metric_name, SUM(value) AS s FROM tsdb "
+                      "GROUP BY metric_name ORDER BY s DESC, metric_name",
+                      expect_lazy=True)
 
     def test_avg_sum_bitwise_vs_row_path(self):
         """SUM/AVG must match the row path bit for bit, not just approx."""
@@ -360,9 +390,13 @@ class TestShapeEligibility:
     def test_aggregate_shapes(self):
         good = parse("SELECT k, COUNT(*) FROM t GROUP BY k")
         assert aggregate_shape_eligible(good)
-        bad = parse("SELECT k, COUNT(*) FROM t GROUP BY k "
-                    "HAVING COUNT(*) > 1")
+        having = parse("SELECT k, SUM(v * v) / COUNT(*) AS r FROM t "
+                       "GROUP BY k HAVING COUNT(*) > 1 ORDER BY r DESC")
+        assert aggregate_shape_eligible(having)
+        bad = parse("SELECT k, COUNT(DISTINCT v) FROM t GROUP BY k")
         assert not aggregate_shape_eligible(bad)
+        bad_pct = parse("SELECT k, PERCENTILE(v, 50) FROM t GROUP BY k")
+        assert not aggregate_shape_eligible(bad_pct)
 
     def test_explain_tags_columnar_stages(self):
         fast, _ = _pair(_tsdb_like())
@@ -404,6 +438,161 @@ class TestTableColumnarHelpers:
         limited = table.limit(3)
         assert not limited.is_materialised()
         assert limited.rows == [(0,), (1,), (2,)]
+
+
+def _dim_table() -> Table:
+    return Table.from_columns(
+        ["name", "owner", "weight"],
+        [np.array(["cpu", "net", "x", None], dtype=object),
+         np.array(["alice", None, "bob", "eve"], dtype=object),
+         np.array([3, 1, 2, 9], dtype=np.int64)])
+
+
+def _join_pair() -> tuple[Database, Database]:
+    fast, slow = _pair(_tsdb_like(40))
+    for db in (fast, slow):
+        db.register("dim", _dim_table())
+    return fast, slow
+
+
+def assert_join_parity(query: str, expect_lazy: bool | None = None) -> None:
+    fast, slow = _join_pair()
+    result = fast.sql(query)
+    if expect_lazy is not None:
+        assert result.is_materialised() is not expect_lazy, (
+            f"expected lazy={expect_lazy} for {query!r}")
+    reference = slow.sql(query)
+    assert result.columns == reference.columns
+    assert _rows_equal(result.rows, reference.rows), (
+        f"row mismatch for {query!r}:\n  fast {result.rows[:4]}\n"
+        f"  ref  {reference.rows[:4]}")
+
+
+class TestColumnarJoin:
+    def test_inner_equi_join(self):
+        assert_join_parity(
+            "SELECT tsdb.timestamp, tsdb.metric_name, dim.owner "
+            "FROM tsdb JOIN dim ON tsdb.metric_name = dim.name",
+            expect_lazy=True)
+
+    def test_left_join_interleaves_null_rows(self):
+        assert_join_parity(
+            "SELECT tsdb.metric_name, dim.owner, dim.weight FROM tsdb "
+            "LEFT JOIN dim ON tsdb.metric_name = dim.name",
+            expect_lazy=True)
+
+    def test_right_and_full_join_append_unmatched(self):
+        assert_join_parity(
+            "SELECT tsdb.metric_name, dim.name FROM tsdb "
+            "RIGHT JOIN dim ON tsdb.metric_name = dim.name",
+            expect_lazy=True)
+        assert_join_parity(
+            "SELECT tsdb.metric_name, dim.name FROM tsdb "
+            "FULL OUTER JOIN dim ON tsdb.metric_name = dim.name",
+            expect_lazy=True)
+
+    def test_residual_predicate_applies_per_candidate(self):
+        assert_join_parity(
+            "SELECT tsdb.timestamp, dim.weight FROM tsdb JOIN dim "
+            "ON tsdb.metric_name = dim.name AND tsdb.value > 0",
+            expect_lazy=True)
+
+    def test_multi_key_with_expression_sides(self):
+        assert_join_parity(
+            "SELECT tsdb.timestamp, dim.weight FROM tsdb JOIN dim "
+            "ON tsdb.metric_name = dim.name "
+            "AND tsdb.timestamp % 2 = dim.weight % 2",
+            expect_lazy=True)
+
+    def test_join_then_filter_aggregate_stays_columnar(self):
+        assert_join_parity(
+            "SELECT dim.owner, COUNT(*) AS n, SUM(tsdb.value) AS s "
+            "FROM tsdb JOIN dim ON tsdb.metric_name = dim.name "
+            "WHERE tsdb.timestamp > 3 GROUP BY dim.owner",
+            expect_lazy=True)
+
+    def test_non_equi_join_falls_back_identically(self):
+        assert_join_parity(
+            "SELECT tsdb.timestamp, dim.weight FROM tsdb JOIN dim "
+            "ON tsdb.timestamp < dim.weight")
+
+    def test_null_keys_never_match(self):
+        # dim.name has a NULL and tsdb.note has NULLs: NULL = NULL must
+        # not join.
+        assert_join_parity(
+            "SELECT tsdb.note, dim.owner FROM tsdb "
+            "LEFT JOIN dim ON tsdb.note = dim.name", expect_lazy=True)
+
+
+class TestColumnarWindows:
+    def test_row_number_and_rank(self):
+        assert_parity(
+            "SELECT timestamp, ROW_NUMBER() OVER "
+            "(PARTITION BY metric_name ORDER BY timestamp DESC) AS rn, "
+            "RANK(value) OVER (PARTITION BY metric_name) AS rk FROM tsdb",
+            expect_lazy=True)
+
+    def test_lag_lead_defaults(self):
+        assert_parity(
+            "SELECT timestamp, LAG(value) OVER (ORDER BY timestamp) AS pv, "
+            "LEAD(value, 2, 0.0) OVER (PARTITION BY metric_name "
+            "ORDER BY timestamp) AS nv FROM tsdb", expect_lazy=True)
+
+    def test_lag_over_object_column_with_nulls(self):
+        assert_parity(
+            "SELECT note, LAG(note, 1, 'start') OVER "
+            "(PARTITION BY metric_name ORDER BY timestamp) AS pn FROM tsdb",
+            expect_lazy=True)
+
+    def test_moving_avg_partitioned(self):
+        assert_parity(
+            "SELECT timestamp, MOVING_AVG(value, 4) OVER "
+            "(PARTITION BY metric_name ORDER BY timestamp) AS ma FROM tsdb",
+            expect_lazy=True)
+
+    def test_window_partition_by_map_column(self):
+        assert_parity(
+            "SELECT timestamp, ROW_NUMBER() OVER "
+            "(PARTITION BY tag ORDER BY timestamp) AS rn FROM tsdb",
+            expect_lazy=True)
+
+    def test_window_in_expression(self):
+        assert_parity(
+            "SELECT value - LAG(value) OVER (ORDER BY timestamp) AS delta "
+            "FROM tsdb", expect_lazy=True)
+
+
+class TestColumnarOrderBy:
+    def test_mixed_directions_and_positional(self):
+        assert_parity(
+            "SELECT metric_name, value, timestamp FROM tsdb "
+            "ORDER BY metric_name ASC, 2 DESC", expect_lazy=True)
+
+    def test_order_by_nan_groups_last(self):
+        n = 8
+        values = np.array([5.0, float("nan"), 1.0, 3.0,
+                           float("nan"), -2.0, 0.0, 9.0])
+        table = Table.from_columns(
+            ["ts", "v"], [np.arange(n, dtype=np.int64), values])
+        result = assert_parity("SELECT ts, v FROM tsdb ORDER BY v",
+                               table=table, expect_lazy=True)
+        got = [v for _, v in result.rows]
+        assert got[:6] == [-2.0, 0.0, 1.0, 3.0, 5.0, 9.0]
+        assert all(v != v for v in got[6:])
+
+    def test_order_by_output_alias_and_input_column(self):
+        assert_parity(
+            "SELECT timestamp, value * 2 AS dv FROM tsdb "
+            "ORDER BY dv DESC, timestamp", expect_lazy=True)
+
+    def test_order_by_null_first(self):
+        assert_parity("SELECT note, timestamp FROM tsdb ORDER BY note",
+                      expect_lazy=True)
+
+    def test_order_by_window_alias(self):
+        assert_parity(
+            "SELECT timestamp, LAG(value) OVER (ORDER BY timestamp) AS pv "
+            "FROM tsdb ORDER BY pv DESC", expect_lazy=True)
 
 
 class TestRowBackedTablesUnaffected:

@@ -100,6 +100,16 @@ def predicates(draw, depth: int = 2):
     return f"({value})"
 
 
+WINDOW_ITEMS = [
+    "ROW_NUMBER() OVER (PARTITION BY metric ORDER BY ts) AS rn",
+    "RANK(v) OVER (PARTITION BY metric) AS rk",
+    "LAG(v) OVER (ORDER BY ts) AS pv",
+    "LEAD(v, 2, 0.0) OVER (PARTITION BY metric ORDER BY ts DESC) AS nv",
+    "LAG(note, 1, 'none') OVER (PARTITION BY tag ORDER BY ts) AS pn",
+    "MOVING_AVG(v, 3) OVER (PARTITION BY metric ORDER BY ts) AS ma",
+]
+
+
 @st.composite
 def statements(draw):
     where = f" WHERE {draw(predicates())}" if draw(st.booleans()) else ""
@@ -110,25 +120,41 @@ def statements(draw):
         aggs = draw(st.lists(st.sampled_from(
             ["COUNT(*) AS n", "SUM(v) AS s", "AVG(v) AS a",
              "MIN(v) AS lo", "MAX(v) AS hi", "MIN(ts) AS t0",
-             "COUNT(note) AS cn", "MEDIAN(v) AS md"]),
+             "COUNT(note) AS cn", "MEDIAN(v) AS md",
+             "SUM(v * v) AS sq", "SUM(v) / COUNT(*) AS r",
+             "MAX(ts) - MIN(ts) AS span", "COUNT(*) + 1 AS n1"]),
             min_size=1, max_size=3, unique=True))
         items = ", ".join(keys + aggs)
-        having = (" HAVING COUNT(*) > 1"
-                  if draw(st.integers(0, 5)) == 0 else "")
+        having = draw(st.sampled_from(
+            ["", "", "", " HAVING COUNT(*) > 1", " HAVING SUM(v) > 0",
+             " HAVING MIN(ts) >= 2 AND COUNT(*) >= 1"]))
         order = ""
         if draw(st.booleans()):
-            order = f" ORDER BY {draw(st.sampled_from(keys))}" + \
-                draw(st.sampled_from(["", " DESC"]))
+            pool = keys + [agg.rpartition(" AS ")[2] for agg in aggs]
+            order_keys = draw(st.lists(st.sampled_from(pool),
+                                       min_size=1, max_size=2, unique=True))
+            order = " ORDER BY " + ", ".join(
+                key + draw(st.sampled_from(["", " ASC", " DESC"]))
+                for key in order_keys)
         return (f"SELECT {items} FROM t{where} "
                 f"GROUP BY {', '.join(keys)}{having}{order}")
     # Plain select.
     exprs = draw(st.lists(st.sampled_from(
         ["ts", "v", "metric", "note", "tag", "v * 2 AS dv",
          "ts + v AS tv", "tag['host'] AS host", "UPPER(metric) AS um",
-         "CAST(ts AS DOUBLE) AS tsd"]),
+         "CAST(ts AS DOUBLE) AS tsd"] + WINDOW_ITEMS),
         min_size=1, max_size=4, unique=True))
-    order = f" ORDER BY {draw(st.sampled_from(['ts', 'v DESC']))}" \
-        if draw(st.integers(0, 3)) == 0 else ""
+    order = ""
+    if draw(st.integers(0, 2)) == 0:
+        n_keys = draw(st.integers(1, 2))
+        keys = []
+        for _ in range(n_keys):
+            base = draw(st.one_of(
+                st.sampled_from(["ts", "v", "metric", "note"]),
+                st.integers(1, len(exprs))))
+            keys.append(
+                f"{base}{draw(st.sampled_from(['', ' ASC', ' DESC']))}")
+        order = " ORDER BY " + ", ".join(keys)
     limit = f" LIMIT {draw(st.integers(0, 10))}" \
         if draw(st.booleans()) else ""
     distinct = "DISTINCT " if draw(st.integers(0, 4)) == 0 else ""
@@ -154,6 +180,52 @@ def test_columnar_matches_row_executor(table, query):
     assert len(result.rows) == len(reference.rows), query
     for got, want in zip(result.rows, reference.rows):
         assert len(got) == len(want), query
+        for ca, cb in zip(got, want):
+            assert _cells_equal(ca, cb), (
+                f"cell mismatch {ca!r} vs {cb!r} for {query!r}")
+
+
+@st.composite
+def dim_tables(draw):
+    n = draw(st.integers(0, 8))
+    name = np.empty(n, dtype=object)
+    owner = np.empty(n, dtype=object)
+    for i in range(n):
+        name[i] = draw(st.sampled_from(METRICS + ["other", None]))
+        owner[i] = draw(st.sampled_from(["alice", "bob", None]))
+    w = np.asarray(draw(st.lists(st.integers(0, 5), min_size=n, max_size=n)),
+                   dtype=np.int64).reshape(n)
+    return Table.from_columns(["name", "owner", "w"], [name, owner, w])
+
+
+@st.composite
+def join_queries(draw):
+    kind = draw(st.sampled_from(
+        ["JOIN", "INNER JOIN", "LEFT JOIN", "LEFT OUTER JOIN",
+         "RIGHT JOIN", "FULL OUTER JOIN"]))
+    condition = "t.metric = d.name"
+    if draw(st.booleans()):
+        condition += " AND t.ts % 3 = d.w % 3"
+    condition += draw(st.sampled_from(
+        ["", " AND t.v > 0", " AND d.w > 1", " AND t.ts < d.w * 10"]))
+    items = draw(st.sampled_from(
+        ["t.ts, t.metric, d.owner, d.w", "*", "t.v, d.name, d.w"]))
+    where = draw(st.sampled_from(["", " WHERE t.v > 0", " WHERE d.w > 0"]))
+    return f"SELECT {items} FROM t {kind} d ON {condition}{where}"
+
+
+@given(tsdb_tables(), dim_tables(), join_queries())
+@settings(max_examples=150, deadline=None)
+def test_join_parity(fact, dim, query):
+    fast, slow = Database(), Database(columnar=False)
+    for db in (fast, slow):
+        db.register("t", fact)
+        db.register("d", dim)
+    result = fast.sql(query)
+    reference = slow.sql(query)
+    assert result.columns == reference.columns, query
+    assert len(result.rows) == len(reference.rows), query
+    for got, want in zip(result.rows, reference.rows):
         for ca, cb in zip(got, want):
             assert _cells_equal(ca, cb), (
                 f"cell mismatch {ca!r} vs {cb!r} for {query!r}")

@@ -79,6 +79,58 @@ class TestMiscBehaviour:
             ({"a": 1},), ({"a": 1},), ({"b": 2},)]))
         assert len(db.sql("SELECT DISTINCT tag FROM m")) == 2
 
+    def test_union_applies_offset(self, edge_db):
+        # Regression: UNION used to drop OFFSET on the merged result.
+        result = edge_db.sql(
+            "SELECT k FROM t UNION ALL SELECT k FROM t "
+            "ORDER BY k LIMIT 3 OFFSET 2")
+        assert result.column("k") == ["a", "a", "b"]
+
+    def test_union_offset_without_limit(self, edge_db):
+        result = edge_db.sql(
+            "SELECT k FROM t UNION SELECT k FROM t ORDER BY k OFFSET 1")
+        assert result.column("k") == ["b", "c"]
+
+
+class TestOrderByNan:
+    def test_nan_sorts_after_numbers_transitively(self):
+        # Regression: NaN keys made _SortKey non-transitive, so output
+        # depended on comparison order ([5.0, nan, 1.0] could keep 5.0
+        # before 1.0).  NaN now ranks in its own bucket above numbers.
+        db = Database()
+        db.register("f", Table(["x"], [
+            (5.0,), (float("nan"),), (1.0,), (3.0,), (float("nan"),)]))
+        got = db.sql("SELECT x FROM f ORDER BY x").column("x")
+        assert got[:3] == [1.0, 3.0, 5.0]
+        assert all(v != v for v in got[3:])
+
+    def test_nan_sorts_before_numbers_descending(self):
+        db = Database()
+        db.register("f", Table(["x"], [
+            (2.0,), (float("nan"),), (7.0,)]))
+        got = db.sql("SELECT x FROM f ORDER BY x DESC").column("x")
+        assert got[0] != got[0]          # NaN first under DESC
+        assert got[1:] == [7.0, 2.0]
+
+
+class TestWindowOrdering:
+    def test_window_desc_order(self):
+        # Regression guard for the single-sort _window_column rewrite:
+        # DESC inside OVER(...) must order the frame, not the output.
+        db = Database()
+        db.register("w", Table(["g", "ts", "v"], [
+            ("a", 1, 10.0), ("a", 2, 20.0), ("b", 1, 5.0),
+            ("a", 3, 30.0), ("b", 2, 15.0)]))
+        result = db.sql(
+            "SELECT g, ts, ROW_NUMBER() OVER "
+            "(PARTITION BY g ORDER BY ts DESC) AS rn FROM w")
+        by_key = {(g, ts): rn for g, ts, rn in result.rows}
+        assert by_key == {("a", 3): 1, ("a", 2): 2, ("a", 1): 3,
+                          ("b", 2): 1, ("b", 1): 2}
+        # Output row order is untouched by the frame sort.
+        assert [(g, ts) for g, ts, _ in result.rows] == [
+            ("a", 1), ("a", 2), ("b", 1), ("a", 3), ("b", 2)]
+
     def test_table_case_insensitive_lookup(self, edge_db):
         assert len(edge_db.sql("SELECT * FROM T")) == 4
 

@@ -68,3 +68,40 @@ class TestRoundTrip:
         restored = loads_store(dumps_store(original))
         assert restored.num_points() == original.num_points()
         assert restored.metric_names() == original.metric_names()
+
+    def test_vectorized_dump_matches_dict_reference(self, store):
+        """The searchsorted merge must be byte-identical to the naive
+        per-point dict walk it replaced."""
+        assert dumps_store(store) == _reference_dump(store)
+
+    def test_vectorized_dump_matches_reference_on_ragged_series(self):
+        s = TimeSeriesStore()
+        s.insert_array(SeriesId.make("m.a", {"k": "1"}),
+                       np.array([0, 5, 9]), np.array([1.0, 2.0, 3.0]))
+        s.insert_array(SeriesId.make("m.b", {"k": "1"}),
+                       np.array([5, 7]), np.array([4.5, 6.5]))
+        s.insert_array(SeriesId.make("m.a", {"k": "2"}),
+                       np.array([2]), np.array([9.0]))
+        assert dumps_store(s) == _reference_dump(s)
+
+
+def _reference_dump(store: TimeSeriesStore) -> str:
+    """The pre-vectorization dump_store, kept as a semantics oracle."""
+    out = ["# repro-tsdb-snapshot v1"]
+    grouped: dict = {}
+    for series in store.series_ids():
+        base, _, measurement = series.name.rpartition(".")
+        if not base:
+            base, measurement = series.name, "value"
+        grouped.setdefault((base, series.tags), {})[measurement] = series
+    for (base, tags), measurements in sorted(grouped.items()):
+        tag_text = ",".join(f"{k}={v}" for k, v in tags)
+        metric = f"{base}{{{tag_text}}}" if tag_text else base
+        merged: dict = {}
+        for key in sorted(measurements):
+            ts_arr, values = store.arrays(measurements[key])
+            for t, value in zip(ts_arr.tolist(), values.tolist()):
+                merged.setdefault(t, []).append(f"{key}={value!r}")
+        for t in sorted(merged):
+            out.append(f"{t} {metric} {' '.join(merged[t])}")
+    return "\n".join(out) + "\n"
