@@ -1,0 +1,194 @@
+"""Zone-map pruning bench: selective SQL over a multi-chunk store.
+
+Loads the ~1M-point datacenter workload with each series split across
+several sealed chunks, then runs selective queries (time range + tag
+equality WHERE) through two databases over the *same* store:
+
+- **unpruned** — the store registered as a plain versioned provider:
+  every query first materialises the full ``tsdb`` table (all series,
+  all chunks consolidated) and filters it;
+- **pruned** — the store registered as a scannable provider: the
+  sargable part of the WHERE is pushed into the store scan, series are
+  restricted via the inverted indexes, chunks whose zone maps cannot
+  match are never read, and boundary chunks are clipped with
+  ``searchsorted``.
+
+Pruning is conservative (the executor re-applies the full WHERE), so
+the result tables are asserted identical — column names, row order,
+and bitwise-equal cells — before any timing is reported.  The gated
+selective time+tag stage must clear a >= 5x floor (asserted in
+``--smoke`` CI mode and on the full run).
+
+Run directly (``python benchmarks/bench_sql_pruning.py``) for the
+~1M-point configuration, or with ``--smoke`` for the small CI config.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import math
+import pathlib
+import time
+
+from repro.sql.catalog import Database
+from repro.tsdb.adapter import register_store, tsdb_table
+from repro.tsdb.storage import TimeSeriesStore
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+#: (stage, query template) pairs; ``{t0}``/``{t1}`` are filled with a
+#: window covering roughly one chunk of each series.
+QUERIES = (
+    ("time+tag filter",
+     "SELECT timestamp, value FROM tsdb "
+     "WHERE metric_name = 'disk_io' AND tag['host'] = 'datanode-1' "
+     "AND timestamp BETWEEN {t0} AND {t1}"),
+    ("time-range aggregate",
+     "SELECT metric_name, COUNT(*) AS n, AVG(value) AS avg_value "
+     "FROM tsdb WHERE timestamp >= {t0} AND timestamp <= {t1} "
+     "GROUP BY metric_name"),
+)
+
+#: Stages whose speedup is asserted against the floor.  The time-only
+#: aggregate touches every series (only chunk pruning helps), so it is
+#: reported but not gated.
+GATED_STAGES = ("time+tag filter",)
+
+BENCH_ROW_FIELDS = ("stage", "unpruned_seconds", "pruned_seconds",
+                    "speedup", "detail")
+
+
+def _load_workload_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_tsdb_ingest_query",
+        _BENCH_DIR / "bench_tsdb_ingest_query.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def build_store(n_points: int, n_samples: int, n_chunks: int,
+                seed: int = 0) -> TimeSeriesStore:
+    """The datacenter store, each series ingested as ``n_chunks`` bulk
+    appends so the zone maps have real chunk boundaries to prune."""
+    workload = _load_workload_module().datacenter_workload(
+        n_points, n_samples, seed)
+    store = TimeSeriesStore()
+    for sid, ts, vals in workload:
+        width = max(1, math.ceil(ts.size / n_chunks))
+        for lo in range(0, ts.size, width):
+            store.insert_array(sid, ts[lo:lo + width], vals[lo:lo + width])
+    return store
+
+
+def _tables_identical(a, b) -> bool:
+    if a.columns != b.columns or len(a.rows) != len(b.rows):
+        return False
+    for row_a, row_b in zip(a.rows, b.rows):
+        for cell_a, cell_b in zip(row_a, row_b):
+            if isinstance(cell_a, float) and isinstance(cell_b, float):
+                if math.isnan(cell_a) and math.isnan(cell_b):
+                    continue
+                if cell_a.hex() != cell_b.hex():    # bitwise, not approx
+                    return False
+            elif cell_a != cell_b:
+                return False
+    return True
+
+
+def _scan_detail(plan) -> str:
+    """Pull the scan node's pruning counters out of an executed plan."""
+    stack = [plan.root] if plan is not None and plan.root else []
+    while stack:
+        node = stack.pop()
+        if node.scan is not None:
+            report = node.scan
+            return (f"chunks {report.chunks_scanned} scanned/"
+                    f"{report.chunks_pruned} pruned, series "
+                    f"{report.series_scanned}/{report.series_total}")
+        stack.extend(node.children)
+    return "no pushdown"
+
+
+def bench_rows(n_points: int = 1_000_000, n_samples: int = 1440,
+               n_chunks: int = 6, seed: int = 0) -> list[dict]:
+    """Time each query on both databases; asserts identical output.
+
+    Fresh databases per stage so neither side benefits from the
+    version-keyed table / scan caches — each timing is a cold query
+    against an already-loaded store.
+    """
+    store = build_store(n_points, n_samples, n_chunks, seed)
+    # One chunk's worth of each series' day, away from the edges.
+    width = max(1, n_samples // n_chunks)
+    t0, t1 = 2 * width, 3 * width - 1
+
+    rows = []
+    for stage, template in QUERIES:
+        query = template.format(t0=t0, t1=t1)
+
+        unpruned_db = Database()
+        unpruned_db.register_versioned_provider(
+            "tsdb", lambda: tsdb_table(store), lambda: store.version)
+        start = time.perf_counter()
+        unpruned_result = unpruned_db.sql(query)
+        _ = unpruned_result.rows                   # charge materialisation
+        unpruned_seconds = time.perf_counter() - start
+
+        pruned_db = Database()
+        register_store(pruned_db, store)
+        start = time.perf_counter()
+        pruned_result = pruned_db.sql(query)
+        _ = pruned_result.rows
+        pruned_seconds = time.perf_counter() - start
+
+        assert _tables_identical(pruned_result, unpruned_result), (
+            f"pruned output diverged from the unpruned executor on {stage}")
+        rows.append({
+            "stage": stage,
+            "unpruned_seconds": unpruned_seconds,
+            "pruned_seconds": pruned_seconds,
+            "speedup": unpruned_seconds / pruned_seconds,
+            "detail": (f"{len(pruned_result)} rows, bitwise-identical; "
+                       f"{_scan_detail(pruned_db.last_plan)}"),
+        })
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    lines = [f"{'stage':<22} {'unpruned':>10} {'pruned':>10} "
+             f"{'speedup':>8}  detail"]
+    for row in rows:
+        lines.append(
+            f"{row['stage']:<22} {row['unpruned_seconds']:>9.3f}s "
+            f"{row['pruned_seconds']:>9.3f}s {row['speedup']:>7.1f}x  "
+            f"{row['detail']}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=None,
+                        help="approximate total points (default 1M)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI config; still asserts the floor")
+    parser.add_argument("--floor", type=float, default=5.0,
+                        help="min gated-stage speedup asserted")
+    args = parser.parse_args()
+    n_points = args.points or (20_000 if args.smoke else 1_000_000)
+    n_samples = 288 if args.smoke else 1440
+    rows = bench_rows(n_points=n_points, n_samples=n_samples,
+                      n_chunks=4 if args.smoke else 6)
+    print(format_rows(rows))
+    for stage in GATED_STAGES:
+        gated = next(r for r in rows if r["stage"] == stage)
+        assert gated["speedup"] >= args.floor, (
+            f"{stage} speedup {gated['speedup']:.1f}x below the "
+            f"{args.floor:.0f}x floor")
+        print(f"OK: pruned {stage} {gated['speedup']:.1f}x >= "
+              f"{args.floor:.0f}x floor, outputs bitwise-identical")
+
+
+if __name__ == "__main__":
+    main()

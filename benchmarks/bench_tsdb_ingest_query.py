@@ -15,9 +15,12 @@ per-point substrate bit for bit:
   versus the columnar ``Table.from_columns`` build (reported both lazy
   and with ``.rows`` forced).
 
-Every comparison asserts byte-identical outputs: downsampled columns,
+Every comparison asserts byte-identical outputs — downsampled columns,
 ``ScanResult.to_matrix``, and ``tsdb_table`` contents match the
-reference exactly.
+reference exactly — with one documented exception: ragged-bucket
+sum/avg downsampling (the segmented ``reduceat`` path) is pinned at a
+1e-9 relative tolerance against the per-bucket loop, the same contract
+the parity tests enforce.
 
 Run directly (``python benchmarks/bench_tsdb_ingest_query.py``) for the
 ~1M-point datacenter-shaped workload, or with ``--smoke`` for the small
@@ -132,6 +135,13 @@ def bench_rows(n_points: int = 1_000_000, n_samples: int = 1440,
     total = sum(ts.size for _, ts, _ in workload)
     rows = []
 
+    # Warm both ingest paths on a couple of series first: the first
+    # chunk seal pulls in numpy's sort/unique machinery for the zone
+    # maps, a one-time ~10ms cost that would otherwise swamp the
+    # smoke-sized bulk timing.
+    ingest_per_point(workload[:2])
+    ingest_bulk(workload[:2])
+
     start = time.perf_counter()
     ref_store = ingest_per_point(workload)
     ref_ingest = time.perf_counter() - start
@@ -156,10 +166,19 @@ def bench_rows(n_points: int = 1_000_000, n_samples: int = 1440,
     result = query.run(store)
     col_scan = time.perf_counter() - start
     assert set(result.columns) == set(ref_columns)
+    # Buckets are ragged whenever ``interval`` does not divide
+    # ``n_samples`` (the smoke config), which routes sum/avg through
+    # segmented ``reduceat`` — left-to-right accumulation, documented
+    # at 1e-9 relative tolerance versus the reference's pairwise
+    # ``np.sum``.  Every other configuration stays bitwise.
+    ragged_sums = agg in ("sum", "avg") and n_samples % interval != 0
     for sid, (ts, vals) in result.columns.items():
         ref_ts, ref_vals = ref_columns[sid]
         assert np.array_equal(ts, ref_ts)
-        assert np.array_equal(vals, ref_vals)   # bitwise
+        if ragged_sums:
+            assert np.allclose(vals, ref_vals, rtol=1e-9, atol=0.0)
+        else:
+            assert np.array_equal(vals, ref_vals)   # bitwise
     matrix_a = result.to_matrix()[0]
     matrix_b = query.run(store).to_matrix()[0]
     assert np.array_equal(matrix_a, matrix_b)
@@ -168,7 +187,9 @@ def bench_rows(n_points: int = 1_000_000, n_samples: int = 1440,
         "reference_seconds": ref_scan,
         "columnar_seconds": col_scan,
         "speedup": ref_scan / col_scan,
-        "detail": f"{len(result)} series, bitwise-identical columns",
+        "detail": (f"{len(result)} series, "
+                   + ("identical columns (sum/avg at 1e-9 rtol)"
+                      if ragged_sums else "bitwise-identical columns")),
     })
 
     start = time.perf_counter()

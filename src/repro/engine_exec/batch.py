@@ -13,11 +13,13 @@ execution path:
    shares them across every X, so identity grouping recovers exactly
    the per-iteration structure).
 2. :func:`execute_batches` hands each group to the scorer's
-   ``score_batch`` when it implements the
-   :class:`~repro.scoring.base.BatchScorer` protocol — one stacked
-   numpy call per group instead of one Python call per hypothesis —
-   and falls back to the per-hypothesis loop for scorers without a
-   vectorized path (L1, custom scorers).
+   ``score_batch`` — one stacked numpy call per group instead of one
+   Python call per hypothesis.  Every built-in scorer implements the
+   :class:`~repro.scoring.base.BatchScorer` protocol (L1 shares its
+   Y/Z-side work even though coordinate descent can't stack the X
+   fits); custom scorers without one are adapted through the
+   definitional per-hypothesis loop, so this module has a single
+   execution path.
 
 Scores are bitwise identical to the sequential path by the
 ``BatchScorer`` contract, so the resulting Score Table matches the
@@ -46,7 +48,7 @@ import numpy as np
 from repro.core.families import FeatureFamily
 from repro.core.hypothesis import Hypothesis
 from repro.engine_exec.accounting import SerializationAccounting
-from repro.scoring.base import BatchScorer, Scorer, group_by_shape
+from repro.scoring.base import Scorer, as_batch_scorer, group_by_shape
 
 #: Stands in for ``z=None`` in grouping keys.  A dedicated module-level
 #: object (always alive, so its id() can never be recycled) rather than
@@ -111,43 +113,38 @@ def execute_batches(hypotheses: Sequence[Hypothesis], scorer: Scorer,
     Returns ``(scores, seconds, attributed)`` arrays aligned with the
     input order; ``attributed[i]`` is True when ``seconds[i]`` is an
     equal share of a stacked call's elapsed time rather than an
-    individually measured wall time.  Batch scorers are invoked once
-    per *shape group* (the unit they stack internally), so the elapsed
-    time of each stacked numpy call is measured per group and only the
-    within-group split is attributed.  ``accounting`` performs the same
-    per-hypothesis serialisation round-trip as the sequential path
-    (restored arrays are bitwise equal, so scores are unaffected).
+    individually measured wall time.  Scorers are invoked once per
+    *shape group* (the unit batch scorers stack internally), so the
+    elapsed time of each stacked call is measured per group and only
+    the within-group split is attributed; scorers without a native
+    ``score_batch`` are adapted (:func:`~repro.scoring.base.
+    as_batch_scorer`) and follow the same accounting.  ``accounting``
+    performs the same per-hypothesis serialisation round-trip as the
+    sequential path (restored arrays are bitwise equal, so scores are
+    unaffected).
     """
     n = len(hypotheses)
     scores = np.empty(n)
     seconds = np.empty(n)
     attributed = np.zeros(n, dtype=bool)
+    batch_scorer = as_batch_scorer(scorer)
     for batch in plan_batches(hypotheses):
         y = batch.y.matrix
         z = batch.z.matrix if batch.z is not None else None
         xs = [h.x.matrix for h in batch.hypotheses]
         if accounting is not None:
             xs = [accounting.round_trip(x, y, z)[0] for x in xs]
-        if isinstance(scorer, BatchScorer):
-            for members in group_by_shape(xs).values():
-                group_xs = [xs[j] for j in members]
-                start = time.perf_counter()
-                values = scorer.score_batch(group_xs, y, z)
-                elapsed = time.perf_counter() - start
-                if accounting is not None:
-                    accounting.record_score_time(elapsed)
-                share = elapsed / len(members)
-                for j, value in zip(members, values):
-                    i = batch.indices[j]
-                    scores[i] = float(value)
-                    seconds[i] = share
-                    attributed[i] = len(members) > 1
-        else:
-            for i, x in zip(batch.indices, xs):
-                start = time.perf_counter()
-                scores[i] = float(scorer.score(x, y, z))
-                elapsed = time.perf_counter() - start
-                if accounting is not None:
-                    accounting.record_score_time(elapsed)
-                seconds[i] = elapsed
+        for members in group_by_shape(xs).values():
+            group_xs = [xs[j] for j in members]
+            start = time.perf_counter()
+            values = batch_scorer.score_batch(group_xs, y, z)
+            elapsed = time.perf_counter() - start
+            if accounting is not None:
+                accounting.record_score_time(elapsed)
+            share = elapsed / len(members)
+            for j, value in zip(members, values):
+                i = batch.indices[j]
+                scores[i] = float(value)
+                seconds[i] = share
+                attributed[i] = len(members) > 1
     return scores, seconds, attributed

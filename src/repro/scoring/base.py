@@ -65,6 +65,31 @@ class BatchScorer(abc.ABC):
         """Scores for every X in ``xs``, aligned with the input order."""
 
 
+class _SequentialBatchAdapter(BatchScorer):
+    """Presents a plain :class:`Scorer` through the batch protocol.
+
+    ``score_batch`` is the definitional per-hypothesis loop, so the
+    bitwise-identity contract holds trivially.  This exists so the batch
+    execution backend has exactly one code path: every scorer — built-in
+    or custom — is driven through ``score_batch``.
+    """
+
+    def __init__(self, scorer: Scorer) -> None:
+        self._scorer = scorer
+
+    def score_batch(self, xs: Sequence[np.ndarray], y: np.ndarray,
+                    z: np.ndarray | None = None) -> np.ndarray:
+        return np.asarray([float(self._scorer.score(x, y, z)) for x in xs],
+                          dtype=np.float64)
+
+
+def as_batch_scorer(scorer: Scorer) -> BatchScorer:
+    """The scorer itself when it batches natively, else a loop adapter."""
+    if isinstance(scorer, BatchScorer):
+        return scorer
+    return _SequentialBatchAdapter(scorer)
+
+
 def validate_batch(xs: Sequence[np.ndarray], y: np.ndarray,
                    z: np.ndarray | None
                    ) -> tuple[list[np.ndarray], np.ndarray,

@@ -12,9 +12,12 @@ BatchScorer` protocol: every hypothesis draws its own sketches from a
 fresh seeded generator (exactly as the sequential path does), but the
 projected designs all share one shape ``(T, d)``, so the inner L2
 cross-validation of the whole batch — all hypotheses times all
-projection rounds — runs as one stacked call.  Hypotheses whose Y or Z
-would itself need projection fall back to the sequential path (their
-projected Y differs per round, so no work is shared).
+projection rounds — runs as one stacked call.  When Y or Z itself needs
+projection, the key observation is that the sequential path seeds a
+fresh generator *per hypothesis*: within one X-shape group every
+hypothesis consumes the identical draw sequence, so the X sketch and
+the projected Y/Z of each round are shared across the group and the
+round still scores as one stacked call.
 
 ``PcaL2Scorer`` also implements the protocol: per-X truncation is
 independent, so the whole batch truncates through one stacked SVD
@@ -98,17 +101,42 @@ class ProjectedL2Scorer(Scorer, BatchScorer):
         out = np.empty(len(xs))
         if not len(xs):
             return out
-        # A Y or Z that itself needs projection defeats the shared-(Y, Z)
-        # grouping (each round projects them afresh); detect that from
-        # the raw shapes and fall back before paying batch validation.
+        # A Y or Z that itself needs projection is re-projected every
+        # round, so rounds cannot stack *across* rounds — but they still
+        # stack across hypotheses: the sequential path seeds a fresh
+        # generator per hypothesis, so every member of one X-shape group
+        # consumes the identical draw sequence.  The X sketch (when X is
+        # wide) and each round's projected Y/Z are therefore shared by
+        # the whole group, and each round scores as one stacked inner
+        # call instead of one Python call per hypothesis.
         y_arr = np.asarray(y)
         z_arr = np.asarray(z) if z is not None else None
         y_wide = y_arr.ndim == 2 and y_arr.shape[1] > self.d
         z_wide = (z_arr is not None and z_arr.ndim == 2
                   and z_arr.shape[1] > self.d)
         if y_wide or z_wide:
-            for i, x in enumerate(xs):
-                out[i] = self.score(x, y, z)
+            validated, y_v, z_v = validate_batch(xs, y, z)
+            for shape, indices in group_by_shape(validated).items():
+                rng = np.random.default_rng(self.seed)
+                x_wide = shape[1] > self.d
+                rounds = np.empty((self.n_projections, len(indices)))
+                for r in range(self.n_projections):
+                    # Draw order matches the sequential path exactly:
+                    # the X sketch (only when X is wide — narrow X
+                    # passes through and consumes no draws), then Y's
+                    # sketch, then Z's.
+                    if x_wide:
+                        sketch = (rng.standard_normal((shape[1], self.d))
+                                  / np.sqrt(self.d))
+                        pxs = [validated[i] @ sketch for i in indices]
+                    else:
+                        pxs = [validated[i] for i in indices]
+                    py = random_projection(y_v, self.d, rng)
+                    pz = (random_projection(z_v, self.d, rng)
+                          if z_v is not None else None)
+                    rounds[r] = self._inner.score_batch(pxs, py, pz)
+                for pos, i in enumerate(indices):
+                    out[i] = float(np.mean(rounds[:, pos]))
             return out
         plain: list[int] = []          # X narrow enough, no projection
         projected: list[int] = []      # only X needs the sketch

@@ -5,10 +5,18 @@ sources register tables (the ``tsdb`` adapter, feature family tables,
 inventory/machine databases for metadata joins), users register UDFs such
 as ``hostgroup``, and intermediate results are saved as temporary tables
 tied to the interactive session.
+
+Every query is planned before execution (:mod:`repro.sql.planner`):
+catalog statistics — provider-supplied for scannable tables, one-pass
+cached summaries otherwise — drive per-stage cardinality estimates, the
+columnar-vs-row engine choice, and join build sides; scannable
+providers additionally receive the sargable part of the WHERE so they
+can prune series and sealed chunks before materialising anything.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.sql.errors import SchemaError
@@ -16,9 +24,18 @@ from repro.sql.executor import Executor
 from repro.sql.nodes import Node
 from repro.sql.optimizer import optimize
 from repro.sql.parser import parse
+from repro.sql.planner import Plan, Planner
+from repro.sql.scan import ScanPredicate, ScanReport
+from repro.sql.stats import TableStats, table_stats
 from repro.sql.table import Table
 
 TableProvider = Callable[[], Table]
+ScanFn = Callable[[ScanPredicate], "tuple[Table, ScanReport]"]
+
+#: Pruned scan results are cached per (table, version, predicate) — a
+#: dashboard re-issuing the same selective query hits memory; the cap
+#: bounds the footprint when predicates vary.
+_SCAN_CACHE_SIZE = 8
 
 
 class Database:
@@ -27,7 +44,9 @@ class Database:
     ``columnar=False`` disables the vectorized execution tier and runs
     every query through the row-at-a-time reference interpreter; the
     parity tests and ``benchmarks/bench_sql_columnar.py`` use it as the
-    baseline the fast path must match bit for bit.
+    baseline the fast path must match bit for bit.  The planner runs in
+    both modes (both executors follow the same plan, so physical
+    decisions like join build side never change observable results).
     """
 
     def __init__(self, optimize_queries: bool = True,
@@ -37,9 +56,15 @@ class Database:
         self._versioned: dict[str, tuple[TableProvider,
                                          Callable[[], Any]]] = {}
         self._version_cache: dict[str, tuple[Any, Table]] = {}
+        self._scan_fns: dict[str, ScanFn] = {}
+        self._stats_fns: dict[str, Callable[[], TableStats]] = {}
+        self._stats_cache: dict[str, tuple[Any, TableStats]] = {}
+        self._scan_cache: OrderedDict[tuple, tuple[Table, ScanReport]] = \
+            OrderedDict()
         self._udfs: dict[str, Callable[..., Any]] = {}
         self._optimize = optimize_queries
         self._columnar = columnar
+        self.last_plan: Plan | None = None
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -52,10 +77,9 @@ class Database:
     def register_provider(self, name: str, provider: TableProvider) -> None:
         """Register a lazy table provider (evaluated on first reference)."""
         key = name.lower()
+        self._forget_lazy(key)
         self._providers[key] = provider
         self._tables.pop(key, None)
-        self._versioned.pop(key, None)
-        self._version_cache.pop(key, None)
 
     def register_versioned_provider(self, name: str, provider: TableProvider,
                                     version_fn: Callable[[], Any]) -> None:
@@ -67,10 +91,28 @@ class Database:
         tables backed by a mutable store (``store.version``).
         """
         key = name.lower()
+        self._forget_lazy(key)
         self._versioned[key] = (provider, version_fn)
-        self._version_cache.pop(key, None)
         self._tables.pop(key, None)
-        self._providers.pop(key, None)
+
+    def register_scannable_provider(self, name: str, provider: TableProvider,
+                                    version_fn: Callable[[], Any],
+                                    scan_fn: ScanFn,
+                                    stats_fn: Callable[[], TableStats],
+                                    ) -> None:
+        """A versioned provider that can additionally *scan* and *describe*.
+
+        ``scan_fn(predicate)`` returns a pruned ``(table, report)`` pair
+        — any superset of the rows matching the predicate, in the same
+        order the full table presents them (the executor re-applies the
+        full WHERE).  ``stats_fn()`` returns planner statistics without
+        materialising the table.  Both are keyed on ``version_fn()``
+        like the full materialisation.
+        """
+        self.register_versioned_provider(name, provider, version_fn)
+        key = name.lower()
+        self._scan_fns[key] = scan_fn
+        self._stats_fns[key] = stats_fn
 
     def register_udf(self, name: str, fn: Callable[..., Any]) -> None:
         """Register a scalar user-defined function, e.g. ``hostgroup``."""
@@ -85,6 +127,11 @@ class Database:
         self._providers.pop(key, None)
         self._versioned.pop(key, None)
         self._version_cache.pop(key, None)
+        self._scan_fns.pop(key, None)
+        self._stats_fns.pop(key, None)
+        self._stats_cache.pop(key, None)
+        for cache_key in [k for k in self._scan_cache if k[0] == key]:
+            self._scan_cache.pop(cache_key, None)
 
     def table_names(self) -> list[str]:
         """All registered table names, sorted."""
@@ -116,18 +163,75 @@ class Database:
         )
 
     # ------------------------------------------------------------------
+    # Planner hooks
+    # ------------------------------------------------------------------
+    def stats_for(self, name: str) -> TableStats | None:
+        """Planner statistics for a table, or ``None`` when unknown.
+
+        Scannable providers answer from storage-level zone maps without
+        materialising (cached per version); other registered tables are
+        materialised — execution would do so anyway — and summarised
+        with a one-pass scan cached on the table object.
+        """
+        key = name.lower()
+        stats_fn = self._stats_fns.get(key)
+        if stats_fn is not None:
+            _, version_fn = self._versioned[key]
+            version = version_fn()
+            cached = self._stats_cache.get(key)
+            if cached is not None and cached[0] == version:
+                return cached[1]
+            stats = stats_fn()
+            self._stats_cache[key] = (version, stats)
+            return stats
+        try:
+            return table_stats(self.table(name))
+        except SchemaError:
+            return None
+
+    def scan_table(self, name: str, predicate: ScanPredicate
+                   ) -> tuple[Table, ScanReport] | None:
+        """Pruned scan through a scannable provider, or ``None``.
+
+        Results are cached per ``(table, version, predicate)`` with a
+        small LRU so repeated dashboard queries skip the scan entirely.
+        """
+        key = name.lower()
+        scan_fn = self._scan_fns.get(key)
+        if scan_fn is None:
+            return None
+        _, version_fn = self._versioned[key]
+        cache_key = (key, version_fn(), predicate)
+        hit = self._scan_cache.get(cache_key)
+        if hit is not None:
+            self._scan_cache.move_to_end(cache_key)
+            return hit
+        result = scan_fn(predicate)
+        self._scan_cache[cache_key] = result
+        while len(self._scan_cache) > _SCAN_CACHE_SIZE:
+            self._scan_cache.popitem(last=False)
+        return result
+
+    # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
     def sql(self, query: str) -> Table:
-        """Parse, optimise and execute one SQL statement."""
+        """Parse, optimise, plan and execute one SQL statement."""
         stmt = parse(query)
         if self._optimize:
             stmt = optimize(stmt)
         return self.execute_ast(stmt)
 
     def execute_ast(self, stmt: Node) -> Table:
-        """Execute an already-parsed statement."""
-        executor = Executor(self.table, self._udfs, columnar=self._columnar)
+        """Plan and execute an already-parsed statement.
+
+        The plan (with per-stage actuals filled in by the run) stays
+        available as :attr:`last_plan` until the next query.
+        """
+        plan = Planner(self.stats_for).plan(stmt)
+        self.last_plan = plan
+        executor = Executor(self.table, self._udfs, columnar=self._columnar,
+                            plan=plan, scan_table=self.scan_table)
         return executor.execute(stmt)
 
     def create_temp_table(self, name: str, query: str) -> Table:
@@ -137,10 +241,15 @@ class Database:
         return result
 
     def explain(self, query: str) -> str:
-        """Render the logical plan that ``sql(query)`` would execute."""
-        from repro.sql.plan import explain as render_plan
+        """Render the physical plan of a query, with actuals.
 
+        Executes the query (EXPLAIN ANALYZE semantics): every stage
+        shows estimated vs actual rows, scans of scannable providers
+        additionally show chunks scanned/pruned and the series subset.
+        """
         stmt = parse(query)
         if self._optimize:
             stmt = optimize(stmt)
-        return render_plan(stmt)
+        self.execute_ast(stmt)
+        assert self.last_plan is not None
+        return self.last_plan.render()

@@ -1340,36 +1340,60 @@ def _group_codes(key_idx: list[int], ctx: _Ctx) -> tuple[np.ndarray, int]:
 # ---------------------------------------------------------------------------
 # Hash equi-join over key-code vectors
 # ---------------------------------------------------------------------------
-def try_join(kind: str, left, right, equi_pairs, residual):
+def try_join(kind: str, left, right, equi_pairs, residual,
+             build: str = "right"):
     """Columnar hash join; returns the joined _Relation or None.
 
     Both sides' equi-key expressions compile to vectors and factorize to
     shared integer codes (code -1 for NULL keys, which never match —
-    the row path's bucket skip).  Matching is one sort of the right
-    codes plus a ``searchsorted`` probe per left row; candidate pairs
-    expand with ``np.repeat`` in exactly the row path's order (left-
-    major, right buckets in right-row order).  Residual conjuncts
-    compile to a 3VL mask over the gathered candidate columns.  LEFT/
-    FULL null rows interleave at their left row's position via a stable
-    sort; RIGHT/FULL unmatched rows append in right-row order.
+    the row path's bucket skip).  Matching is one sort of the build
+    side's codes plus a ``searchsorted`` probe per row of the other
+    side; candidate pairs expand with ``np.repeat``.  With the default
+    ``build="right"`` the pairs come out in exactly the row path's order
+    (left-major, right buckets in right-row order); ``build="left"``
+    (the planner's choice when the left side is estimated smaller;
+    INNER only) sorts the smaller left side instead and restores that
+    same order with one lexsort, so the build side never changes the
+    output.  Residual conjuncts compile to a 3VL mask over the gathered
+    candidate columns.  LEFT/FULL null rows interleave at their left
+    row's position via a stable sort; RIGHT/FULL unmatched rows append
+    in right-row order.
     """
     from repro.sql.executor import _Relation
 
     try:
         lcodes, rcodes = _combined_key_codes(equi_pairs, left, right)
         nl, nr = lcodes.size, rcodes.size
-        r_valid = np.flatnonzero(rcodes >= 0)
-        r_order = r_valid[np.argsort(rcodes[r_valid], kind="stable")]
-        sorted_r = rcodes[r_order]
-        lo = np.searchsorted(sorted_r, lcodes, side="left")
-        hi = np.searchsorted(sorted_r, lcodes, side="right")
-        counts = hi - lo
-        counts[lcodes < 0] = 0
-        total = int(counts.sum())
-        left_idx = np.repeat(np.arange(nl, dtype=np.intp), counts)
-        offsets = np.arange(total, dtype=np.intp) - np.repeat(
-            np.cumsum(counts) - counts, counts)
-        right_idx = r_order[np.repeat(lo, counts) + offsets]
+        if build == "left" and kind == "INNER":
+            l_valid = np.flatnonzero(lcodes >= 0)
+            l_order = l_valid[np.argsort(lcodes[l_valid], kind="stable")]
+            sorted_l = lcodes[l_order]
+            lo = np.searchsorted(sorted_l, rcodes, side="left")
+            hi = np.searchsorted(sorted_l, rcodes, side="right")
+            counts = hi - lo
+            counts[rcodes < 0] = 0
+            total = int(counts.sum())
+            right_idx = np.repeat(np.arange(nr, dtype=np.intp), counts)
+            offsets = np.arange(total, dtype=np.intp) - np.repeat(
+                np.cumsum(counts) - counts, counts)
+            left_idx = l_order[np.repeat(lo, counts) + offsets]
+            # Canonicalise to the build-right emission order.
+            order = np.lexsort((right_idx, left_idx))
+            left_idx = left_idx[order]
+            right_idx = right_idx[order]
+        else:
+            r_valid = np.flatnonzero(rcodes >= 0)
+            r_order = r_valid[np.argsort(rcodes[r_valid], kind="stable")]
+            sorted_r = rcodes[r_order]
+            lo = np.searchsorted(sorted_r, lcodes, side="left")
+            hi = np.searchsorted(sorted_r, lcodes, side="right")
+            counts = hi - lo
+            counts[lcodes < 0] = 0
+            total = int(counts.sum())
+            left_idx = np.repeat(np.arange(nl, dtype=np.intp), counts)
+            offsets = np.arange(total, dtype=np.intp) - np.repeat(
+                np.cumsum(counts) - counts, counts)
+            right_idx = r_order[np.repeat(lo, counts) + offsets]
         if residual is not None:
             candidates = _Relation(
                 left.columns + right.columns,

@@ -26,6 +26,7 @@ import math
 from typing import Any, Callable, Sequence
 
 from repro.sql.errors import ExecutionError, SchemaError
+from repro.sql.scan import ScanPredicate, ScanReport, extract_scan_predicate
 from repro.sql.functions import (
     AGGREGATES,
     SCALARS,
@@ -235,14 +236,47 @@ class Executor:
     scans of column-backed tables; ``columnar=False`` forces every stage
     through the row-at-a-time interpreter — the reference the fast path
     is verified against (and what benchmarks compare to).
+
+    ``plan`` (a :class:`repro.sql.planner.Plan` built for the *same* AST
+    objects) carries the planner's physical decisions: stages whose
+    engine the plan resolved to ``"row"`` skip the columnar attempt, and
+    INNER equi-joins hash the side the plan chose.  The executor writes
+    per-stage actual row counts (and scan reports) back into the plan so
+    EXPLAIN shows estimated vs actual.  ``scan_table(name, predicate)``
+    is the predicate-pushdown hook: given the sargable part of a WHERE
+    it may return a pruned ``(table, report)`` superset for a TableRef
+    scan (the full WHERE is still re-applied afterwards, so pruning
+    never changes results).
     """
 
     def __init__(self, resolve_table: Callable[[str], Table],
                  udfs: dict[str, Callable[..., Any]] | None = None,
-                 columnar: bool = True) -> None:
+                 columnar: bool = True,
+                 plan: Any = None,
+                 scan_table: Callable[
+                     [str, ScanPredicate],
+                     "tuple[Table, ScanReport] | None"] | None = None,
+                 ) -> None:
         self._resolve_table = resolve_table
         self._udfs = {name.upper(): fn for name, fn in (udfs or {}).items()}
         self._columnar = columnar
+        self._plan = plan
+        self._scan_table = scan_table
+
+    def _record(self, node: Node, role: str, rows: int) -> None:
+        if self._plan is not None:
+            self._plan.record_rows(node, role, rows)
+
+    def _engine_allows(self, node: Node, role: str) -> bool:
+        """Whether the plan permits the columnar tier for this stage.
+
+        ``"row"`` is the only veto; stages the planner never saw (no
+        plan, or a sub-statement executed standalone) keep the historical
+        columnar-whenever-eligible behaviour.
+        """
+        if self._plan is None:
+            return True
+        return self._plan.engine_for(node, role) != "row"
 
     # ------------------------------------------------------------------
     # Statement dispatch
@@ -268,17 +302,19 @@ class Executor:
             merged = merged.slice_rows(stmt.offset, None)
         if stmt.limit is not None:
             merged = merged.limit(stmt.limit)
+        self._record(stmt, "union", len(merged))
         return merged
 
     # ------------------------------------------------------------------
     # SELECT
     # ------------------------------------------------------------------
     def _execute_select(self, stmt: Select) -> Table:
-        relation = self._build_source(stmt.source)
+        relation = self._build_source(stmt.source, where=stmt.where)
         if stmt.where is not None:
             self._reject_aggregates(stmt.where, "WHERE")
             filtered = None
-            if self._columnar and relation.coldata is not None:
+            if self._columnar and relation.coldata is not None \
+                    and self._engine_allows(stmt, "filter"):
                 filtered = columnar.try_filter(relation, stmt.where)
             if filtered is None:
                 rows = [row for row in relation.rows
@@ -286,6 +322,7 @@ class Executor:
                 relation = _Relation(relation.columns, rows)
             else:
                 relation = filtered
+            self._record(stmt, "filter", len(relation))
 
         aggregate_query = bool(stmt.group_by) or any(
             self._contains_aggregate(item.expr) for item in stmt.items
@@ -294,14 +331,25 @@ class Executor:
         table: Table | None = None
         if self._columnar and relation.coldata is not None:
             if aggregate_query:
-                table = columnar.try_aggregate(stmt, relation)
-            else:
+                if self._engine_allows(stmt, "aggregate"):
+                    table = columnar.try_aggregate(stmt, relation)
+            elif self._engine_allows(stmt, "sort") \
+                    and self._engine_allows(stmt, "window"):
                 table = columnar.try_project(stmt, relation)
         if table is None:
             if aggregate_query:
                 table = self._execute_aggregate(stmt, relation)
             else:
                 table = self._execute_plain(stmt, relation)
+        if aggregate_query:
+            # The row path applies HAVING inside the aggregate, so the
+            # recorded actual is post-HAVING (matching what EXPLAIN's
+            # innermost surviving stage would see).
+            role = "having" if stmt.having is not None else "aggregate"
+            self._record(stmt, role, len(table))
+        else:
+            self._record(stmt, "window", len(table))
+            self._record(stmt, "sort", len(table))
 
         if stmt.distinct:
             table = table.distinct()
@@ -309,23 +357,52 @@ class Executor:
             table = table.slice_rows(stmt.offset, None)
         if stmt.limit is not None:
             table = table.limit(stmt.limit)
+        self._record(stmt, "project", len(table))
         return table
 
     # ------------------------------------------------------------------
     # FROM clause
     # ------------------------------------------------------------------
-    def _build_source(self, source: Node | None) -> _Relation:
+    def _build_source(self, source: Node | None,
+                      where: Node | None = None) -> _Relation:
         if source is None:
             return _Relation([], [()])  # one empty row: SELECT 1+1
         if isinstance(source, TableRef):
+            qualifier = source.alias or source.name
+            pruned = self._scan_pruned(source, where, qualifier)
+            if pruned is not None:
+                return pruned
             table = self._resolve_table(source.name)
-            return _Relation.from_table(table, source.alias or source.name)
+            self._record(source, "scan", len(table))
+            return _Relation.from_table(table, qualifier)
         if isinstance(source, SubqueryRef):
             table = self.execute(source.query)
+            self._record(source, "subquery", len(table))
             return _Relation.from_table(table, source.alias)
         if isinstance(source, Join):
             return self._execute_join(source)
         raise ExecutionError(f"unsupported FROM element {type(source).__name__}")
+
+    def _scan_pruned(self, source: TableRef, where: Node | None,
+                     qualifier: str) -> _Relation | None:
+        """Pushed-down scan of a scannable provider, or ``None``.
+
+        The provider returns a superset of the rows the WHERE keeps (in
+        the full table's row order); the caller re-applies the complete
+        WHERE, so results are identical to scanning everything.
+        """
+        if self._scan_table is None or where is None:
+            return None
+        predicate = extract_scan_predicate(where, qualifier)
+        if predicate is None or predicate.is_empty():
+            return None
+        pruned = self._scan_table(source.name, predicate)
+        if pruned is None:
+            return None
+        table, report = pruned
+        if self._plan is not None:
+            self._plan.record_scan(source, report)
+        return _Relation.from_table(table, qualifier)
 
     def _execute_join(self, join: Join) -> _Relation:
         left = self._build_source(join.left)
@@ -338,17 +415,33 @@ class Executor:
 
         if join.kind == "CROSS":
             rows = [lrow + rrow for lrow in left.rows for rrow in right.rows]
+            self._record(join, "join", len(rows))
             return _Relation(combined_columns, rows)
 
         equi_pairs, residual = self._extract_equi_keys(
             join.condition, left, right, combined
         )
+        # The plan's cost decision: INNER equi-joins hash the side with
+        # the smaller estimated cardinality (default: right).  Output
+        # row order is canonicalised to the build-right emission order,
+        # so the choice never changes results.
+        build_left = bool(
+            equi_pairs and join.kind == "INNER" and self._plan is not None
+            and self._plan.build_side(join) == "left")
         if equi_pairs and self._columnar and left.coldata is not None \
-                and right.coldata is not None:
+                and right.coldata is not None \
+                and self._engine_allows(join, "join"):
             joined = columnar.try_join(join.kind, left, right,
-                                       equi_pairs, residual)
+                                       equi_pairs, residual,
+                                       build="left" if build_left else "right")
             if joined is not None:
+                self._record(join, "join", len(joined))
                 return joined
+        if build_left:
+            relation = self._inner_join_build_left(
+                join, left, right, combined, equi_pairs, residual)
+            self._record(join, "join", len(relation))
+            return relation
         rows: list[tuple] = []
         matched_right: set[int] = set()
 
@@ -396,7 +489,43 @@ class Executor:
             for r_idx, rrow in enumerate(right.rows):
                 if r_idx not in matched_right:
                     rows.append(left_nulls + rrow)
+        self._record(join, "join", len(rows))
         return _Relation(combined_columns, rows)
+
+    def _inner_join_build_left(self, join: Join, left: _Relation,
+                               right: _Relation, combined: _Relation,
+                               equi_pairs: list[tuple[Node, Node]],
+                               residual: Node | None) -> _Relation:
+        """INNER hash join building on the left side.
+
+        Matched index pairs are collected and sorted by ``(left row,
+        right row)`` — exactly the order the build-right probe emits
+        (left-major, bucket lists in ascending right order) — so the
+        build side is invisible in the output.
+        """
+        buckets: dict[tuple, list[int]] = {}
+        left_exprs = [pair[0] for pair in equi_pairs]
+        right_exprs = [pair[1] for pair in equi_pairs]
+        for l_idx, lrow in enumerate(left.rows):
+            key = tuple(_hashable_row(
+                tuple(self._eval(expr, left, lrow) for expr in left_exprs)))
+            if any(part is None for part in key):
+                continue
+            buckets.setdefault(key, []).append(l_idx)
+        pairs: list[tuple[int, int]] = []
+        for r_idx, rrow in enumerate(right.rows):
+            key = tuple(_hashable_row(
+                tuple(self._eval(expr, right, rrow) for expr in right_exprs)))
+            if any(part is None for part in key):
+                continue
+            for l_idx in buckets.get(key, ()):
+                candidate = left.rows[l_idx] + rrow
+                if residual is None or self._eval(
+                        residual, combined, candidate) is True:
+                    pairs.append((l_idx, r_idx))
+        pairs.sort()
+        rows = [left.rows[l_idx] + right.rows[r_idx] for l_idx, r_idx in pairs]
+        return _Relation(left.columns + right.columns, rows)
 
     def _extract_equi_keys(self, condition: Node | None, left: _Relation,
                            right: _Relation, combined: _Relation

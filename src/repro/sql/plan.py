@@ -1,153 +1,29 @@
-"""EXPLAIN support: render a statement's logical plan as a tree.
+"""EXPLAIN support: render a statement's plan as a tree.
 
-`Database.explain(query)` shows what will actually run — including the
-filtering subqueries the optimizer injected — mirroring how the paper's
-users inspect Spark SQL plans when a hypothesis query misbehaves.
+The real planning logic lives in :mod:`repro.sql.planner`; this module
+keeps the historical ``explain(stmt)`` entry point, which renders a
+statistics-less plan (every estimate unknown, no actuals).
+:meth:`repro.sql.catalog.Database.explain` goes through the full
+planner instead: catalog statistics for estimates, then execution, so
+the rendered plan shows estimated vs actual rows and chunks
+scanned/pruned per stage.
 
 Filter, Aggregate, Sort, Window, and Join nodes whose *shape* fits the
 columnar executor's compilable subset are tagged
 ``[columnar-eligible]``; whether the fast path actually runs
-additionally depends on the scanned table being column-backed and on
-runtime column dtypes (see :mod:`repro.sql.columnar`).
+additionally depends on the cost-based engine decision, on the scanned
+table being column-backed, and on runtime column dtypes (see
+:mod:`repro.sql.columnar`).
 """
 
 from __future__ import annotations
 
-from repro.sql.columnar import (
-    aggregate_shape_eligible,
-    join_shape_eligible,
-    order_shape_eligible,
-    predicate_shape_eligible,
-    window_shape_eligible,
-)
-from repro.sql.executor import render
-from repro.sql.nodes import (
-    FuncCall,
-    Join,
-    Node,
-    Select,
-    SelectItem,
-    Star,
-    SubqueryRef,
-    TableRef,
-    Union,
-    walk,
-)
+from repro.sql.nodes import Node
+from repro.sql.planner import Plan, Planner, PlanNode
+
+__all__ = ["explain", "Plan", "Planner", "PlanNode"]
 
 
 def explain(stmt: Node) -> str:
-    """Render the logical plan of a parsed (and optimised) statement."""
-    lines: list[str] = []
-    _render_node(stmt, lines, depth=0)
-    return "\n".join(lines)
-
-
-def _pad(depth: int) -> str:
-    return "  " * depth
-
-
-def _render_node(node: Node, lines: list[str], depth: int) -> None:
-    if isinstance(node, Union):
-        label = "UnionAll" if node.all else "Union"
-        extras = []
-        if node.order_by:
-            extras.append(f"orderBy={len(node.order_by)} keys")
-        if node.limit is not None:
-            extras.append(f"limit={node.limit}")
-        if node.offset:
-            extras.append(f"offset={node.offset}")
-        suffix = f" [{', '.join(extras)}]" if extras else ""
-        lines.append(f"{_pad(depth)}{label}{suffix}")
-        _render_node(node.left, lines, depth + 1)
-        _render_node(node.right, lines, depth + 1)
-        return
-    if isinstance(node, Select):
-        _render_select(node, lines, depth)
-        return
-    lines.append(f"{_pad(depth)}{type(node).__name__}")
-
-
-def _render_select(stmt: Select, lines: list[str], depth: int) -> None:
-    projection = ", ".join(_item_text(item) for item in stmt.items[:6])
-    if len(stmt.items) > 6:
-        projection += ", …"
-    qualifiers = []
-    if stmt.distinct:
-        qualifiers.append("distinct")
-    if stmt.limit is not None:
-        qualifiers.append(f"limit={stmt.limit}")
-    if stmt.offset:
-        qualifiers.append(f"offset={stmt.offset}")
-    suffix = f" [{', '.join(qualifiers)}]" if qualifiers else ""
-    lines.append(f"{_pad(depth)}Project({projection}){suffix}")
-    inner = depth + 1
-    aggregated = bool(stmt.group_by) or stmt.having is not None
-    if stmt.order_by:
-        keys = ", ".join(
-            render(o.expr) + ("" if o.ascending else " DESC")
-            for o in stmt.order_by)
-        sort_tag = " [columnar-eligible]" \
-            if not aggregated and order_shape_eligible(stmt.order_by) else ""
-        lines.append(f"{_pad(inner)}Sort({keys}){sort_tag}")
-        inner += 1
-    window_calls = [node for item in stmt.items
-                    if not isinstance(item.expr, Star)
-                    for node in walk(item.expr)
-                    if isinstance(node, FuncCall) and node.window is not None]
-    if window_calls:
-        names = ", ".join(dict.fromkeys(c.name for c in window_calls))
-        window_tag = " [columnar-eligible]" \
-            if all(window_shape_eligible(c) for c in window_calls) else ""
-        lines.append(f"{_pad(inner)}Window({names}){window_tag}")
-        inner += 1
-    if stmt.group_by or stmt.having is not None:
-        keys = ", ".join(render(g) for g in stmt.group_by) or "<global>"
-        agg_tag = " [columnar-eligible]" if aggregate_shape_eligible(stmt) \
-            else ""
-        lines.append(f"{_pad(inner)}Aggregate(groupBy={keys}){agg_tag}")
-        inner += 1
-        if stmt.having is not None:
-            lines.append(f"{_pad(inner)}Having({render(stmt.having)})")
-            inner += 1
-    if stmt.where is not None:
-        where_tag = " [columnar-eligible]" \
-            if predicate_shape_eligible(stmt.where) else ""
-        lines.append(f"{_pad(inner)}Filter({render(stmt.where)}){where_tag}")
-        inner += 1
-    _render_source(stmt.source, lines, inner)
-
-
-def _item_text(item: SelectItem) -> str:
-    if isinstance(item.expr, Star):
-        return "*" if item.expr.table is None else f"{item.expr.table}.*"
-    text = render(item.expr)
-    if item.alias:
-        text += f" AS {item.alias}"
-    return text
-
-
-def _render_source(source: Node | None, lines: list[str],
-                   depth: int) -> None:
-    if source is None:
-        lines.append(f"{_pad(depth)}OneRow")
-        return
-    if isinstance(source, TableRef):
-        alias = f" AS {source.alias}" if source.alias else ""
-        lines.append(f"{_pad(depth)}Scan({source.name}{alias})")
-        return
-    if isinstance(source, SubqueryRef):
-        alias = f" AS {source.alias}" if source.alias else ""
-        lines.append(f"{_pad(depth)}Subquery{alias}")
-        _render_node(source.query, lines, depth + 1)
-        return
-    if isinstance(source, Join):
-        condition = (f" on {render(source.condition)}"
-                     if source.condition is not None else "")
-        join_tag = " [columnar-eligible]" if join_shape_eligible(source) \
-            else ""
-        lines.append(f"{_pad(depth)}{source.kind.title()}Join{condition}"
-                     f"{join_tag}")
-        _render_source(source.left, lines, depth + 1)
-        _render_source(source.right, lines, depth + 1)
-        return
-    lines.append(f"{_pad(depth)}{type(source).__name__}")
+    """Render the plan of a parsed (and optimised) statement."""
+    return Planner().plan(stmt).render()

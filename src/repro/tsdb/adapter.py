@@ -30,10 +30,13 @@ per-observation Python object exist.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable
 
 import numpy as np
 
+from repro.sql.scan import ScanPredicate, ScanReport
+from repro.sql.stats import ColumnSummary, TableStats
 from repro.sql.table import Table
 from repro.tsdb.model import SeriesId
 from repro.tsdb.storage import TimeSeriesStore
@@ -94,13 +97,144 @@ def tsdb_table(store: TimeSeriesStore,
     return observations_to_table(store.iter_arrays(start=start, end=end))
 
 
+def scan_store(store: TimeSeriesStore, predicate: ScanPredicate
+               ) -> tuple[Table, ScanReport]:
+    """Pruned materialisation of the ``tsdb`` table under a predicate.
+
+    Three pruning levels, all conservative (the result is a superset of
+    the rows the full WHERE keeps, in exactly the order the unpruned
+    table would present them, so re-filtering gives bitwise-identical
+    results):
+
+    - **series**, via the store's inverted indexes: an exact
+      ``metric_name = '...'`` or ``tag['key'] = '...'`` constraint
+      restricts the scan to the matching series set;
+    - **chunks**, via zone maps: sealed chunks whose time or value range
+      cannot intersect the predicate are skipped without being read;
+    - **rows**, via ``searchsorted``: surviving boundary chunks are
+      clipped exactly to the time range.
+
+    Constraints on columns the provider cannot act on are ignored.
+    Ordering is preserved because the ``(timestamp, metric_name)``
+    lexsort in :func:`observations_to_table` is stable and subset-stable
+    — dropping rows never reorders the survivors.
+    """
+    name = None
+    tags: dict[str, str] = {}
+    impossible = False
+    for column, value in predicate.equals:
+        if column == "metric_name":
+            if isinstance(value, str):
+                if name is not None and value != name:
+                    impossible = True
+                name = value
+            else:
+                impossible = True        # metric_name = non-string: no rows
+    for column, key, value in predicate.map_equals:
+        if column == "tag" and isinstance(value, str):
+            if key in tags and tags[key] != value:
+                impossible = True
+            tags[key] = value
+    start, end = _time_window(predicate)
+    value_lo, value_hi = predicate.range_for("value")
+
+    series_total = len(store)
+    if impossible:
+        kept: list[SeriesId] = []
+    elif name is not None or tags:
+        kept = store.find_exact(name, tags)
+    else:
+        kept = store.series_ids()
+    chunks_scanned = chunks_pruned = 0
+    triples = []
+    for series in kept:
+        ts, vals, scanned, pruned = store.scan_arrays(
+            series, start, end, value_lo, value_hi)
+        chunks_scanned += scanned
+        chunks_pruned += pruned
+        if ts.size:
+            triples.append((series, ts, vals))
+    table = observations_to_table(triples)
+    report = ScanReport(rows=len(table), series_total=series_total,
+                        series_scanned=len(kept),
+                        chunks_scanned=chunks_scanned,
+                        chunks_pruned=chunks_pruned)
+    return table, report
+
+
+def _time_window(predicate: ScanPredicate) -> tuple[int | None, int | None]:
+    """The predicate's closed timestamp interval as a half-open int window.
+
+    Timestamps are integral, so closed ``[lo, hi]`` becomes
+    ``[ceil(lo), floor(hi) + 1)`` — exact for int literals, conservative
+    for float ones.
+    """
+    lo, hi = predicate.range_for("timestamp")
+    start = None if lo is None else int(math.ceil(lo))
+    end = None if hi is None else int(math.floor(hi)) + 1
+    return start, end
+
+
+def store_stats(store: TimeSeriesStore) -> TableStats:
+    """Planner statistics for the ``tsdb`` table, without materialising it.
+
+    Row count and the timestamp range are O(1); the value range is a
+    zone-map union (O(chunks)); distinct counts for ``timestamp`` and
+    ``value`` sum per-chunk exact counts, an over-estimate whenever
+    chunks share values (the documented "cheap distinct estimate").
+    """
+    rows = store.num_points()
+    names = store.metric_names()
+    ts_min = ts_max = None
+    ts_distinct = val_distinct = val_nulls = 0
+    if rows:
+        ts_min, ts_max = store.time_range()
+    val_lo = val_hi = None
+    for series in store.series_ids():
+        for seg in store.chunk_stats(series):
+            ts_distinct += seg.timestamps.distinct
+            val_distinct += seg.values.distinct
+            val_nulls += seg.values.null_count
+            if seg.values.min is not None:
+                val_lo = (seg.values.min if val_lo is None
+                          else min(val_lo, seg.values.min))
+                val_hi = (seg.values.max if val_hi is None
+                          else max(val_hi, seg.values.max))
+    columns = (
+        ("timestamp", ColumnSummary(min=ts_min, max=ts_max, null_count=0,
+                                    distinct=min(ts_distinct, rows) or None)),
+        ("metric_name", ColumnSummary(
+            min=names[0] if names else None,
+            max=names[-1] if names else None,
+            null_count=0, distinct=len(names) or None)),
+        ("tag", ColumnSummary(null_count=0)),
+        ("value", ColumnSummary(min=val_lo, max=val_hi,
+                                null_count=val_nulls,
+                                distinct=min(val_distinct, rows) or None)),
+    )
+    return TableStats(rows=rows, columns=columns)
+
+
 def register_store(db, store: TimeSeriesStore, name: str = "tsdb") -> None:
     """Register a store on a Database as a lazily-materialised table.
 
     The provider is keyed on ``store.version``: the table materialises
     on first query and re-materialises only after the store mutates
     (including in-place ``apply`` fault overlays, which leave
-    ``num_points()`` unchanged).
+    ``num_points()`` unchanged).  When the Database supports scannable
+    providers, time-range / metric / tag / value predicates are pushed
+    into the store scan (:func:`scan_store`) and the planner reads
+    zone-map statistics (:func:`store_stats`) instead of materialising.
     """
+    register_scannable = getattr(db, "register_scannable_provider", None)
+    if register_scannable is not None:
+        register_scannable(
+            name,
+            provider=lambda: tsdb_table(store),
+            version_fn=lambda: store.version,
+            scan_fn=lambda predicate: scan_store(store, predicate),
+            stats_fn=lambda: store_stats(store),
+        )
+        return
     db.register_versioned_provider(
         name, lambda: tsdb_table(store), lambda: store.version)

@@ -125,6 +125,87 @@ class DataPoint:
 CHUNK_TARGET = 4096
 
 
+@dataclass(frozen=True)
+class ColumnStats:
+    """Zone-map statistics for one column of one sealed chunk.
+
+    ``min``/``max`` exclude nulls (NaN for the value column) and are
+    ``None`` only when every cell is null.  ``null_count`` counts NaNs;
+    timestamps are int64 and never null.  ``distinct`` is the exact
+    number of distinct non-null cells *within the chunk*; summing it
+    across chunks over-counts values shared between chunks, which is
+    the documented sense in which store-level distinct is an estimate.
+    """
+
+    min: int | float | None
+    max: int | float | None
+    null_count: int
+    distinct: int
+
+    def may_contain_range(self, lo: int | float | None,
+                          hi: int | float | None) -> bool:
+        """Can any non-null cell fall inside the closed range [lo, hi]?
+
+        ``None`` bounds are open.  Conservative: ``True`` means the
+        chunk must be scanned, ``False`` proves no row can match, so a
+        pruned chunk never removes a row a WHERE would have kept.
+        """
+        if self.min is None:         # all cells null: no comparison matches
+            return False
+        if lo is not None and self.max < lo:
+            return False
+        if hi is not None and self.min > hi:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class ChunkStats:
+    """Zone map for one logical chunk: ``[start, end)`` row offsets into
+    the series' consolidated columns, plus per-column statistics.
+
+    Logical chunk boundaries are recorded when a chunk is sealed and are
+    *kept* when :meth:`SeriesData.arrays` compacts physical storage into
+    a single array pair — the offsets stay valid because compaction is a
+    pure concatenation.  ``apply``-style value rewrites keep boundaries
+    and recompute the value column's statistics in place.
+    """
+
+    start: int
+    end: int
+    timestamps: ColumnStats
+    values: ColumnStats
+
+    @property
+    def count(self) -> int:
+        return self.end - self.start
+
+
+def _chunk_stats(start: int, ts: np.ndarray, vals: np.ndarray) -> ChunkStats:
+    """Compute the zone map of one sealed chunk (ts sorted, never null)."""
+    ts_distinct = 1 + int(np.count_nonzero(ts[1:] != ts[:-1]))
+    ts_stats = ColumnStats(min=int(ts[0]), max=int(ts[-1]),
+                           null_count=0, distinct=ts_distinct)
+    nan_mask = np.isnan(vals)
+    nulls = int(np.count_nonzero(nan_mask))
+    if nulls == vals.size:
+        val_stats = ColumnStats(min=None, max=None,
+                                null_count=nulls, distinct=0)
+    else:
+        finite = vals[~nan_mask] if nulls else vals
+        # One sort yields min, max, and the exact distinct count
+        # (``np.unique`` sorts too, then pays for building the array
+        # of uniques this zone map never needs).
+        ordered = np.sort(finite)
+        distinct = 1 + int(np.count_nonzero(ordered[1:] != ordered[:-1]))
+        val_stats = ColumnStats(min=float(ordered[0]),
+                                max=float(ordered[-1]),
+                                null_count=nulls,
+                                distinct=distinct)
+    return ChunkStats(start=start, end=start + int(ts.size),
+                      timestamps=ts_stats, values=val_stats)
+
+
 class SeriesData:
     """Chunked columnar storage for one series.
 
@@ -150,7 +231,7 @@ class SeriesData:
     """
 
     __slots__ = ("series", "_chunk_ts", "_chunk_vals", "_buf_ts",
-                 "_buf_vals", "_length", "_consolidated")
+                 "_buf_vals", "_length", "_consolidated", "_segments")
 
     def __init__(self, series: SeriesId,
                  timestamps: Iterable[int] | np.ndarray | None = None,
@@ -162,6 +243,9 @@ class SeriesData:
         self._buf_vals: list[float] = []
         self._length = 0
         self._consolidated: tuple[np.ndarray, np.ndarray] | None = None
+        #: zone maps, one per sealed logical chunk; offsets tile
+        #: [0, sealed length) and survive physical compaction.
+        self._segments: list[ChunkStats] = []
         if timestamps is not None or values is not None:
             self.extend(timestamps if timestamps is not None else (),
                         values if values is not None else ())
@@ -265,6 +349,7 @@ class SeriesData:
         self._seal_buffer()
         ts.flags.writeable = False
         vals.flags.writeable = False
+        self._segments.append(_chunk_stats(self._sealed_length(), ts, vals))
         self._chunk_ts.append(ts)
         self._chunk_vals.append(vals)
         self._length += ts.size
@@ -287,6 +372,13 @@ class SeriesData:
         self._buf_ts = []
         self._buf_vals = []
         self._consolidated = (ts, vals)
+        # Chunk boundaries survive the rewrite; only the value column's
+        # statistics change, so recompute each segment over the new column.
+        self._segments = [
+            _chunk_stats(seg.start, ts[seg.start:seg.end],
+                         vals[seg.start:seg.end])
+            for seg in self._segments
+        ]
 
     # ------------------------------------------------------------------
     # Reads
@@ -322,10 +414,101 @@ class SeriesData:
         vals = np.asarray(self._buf_vals, dtype=np.float64)
         ts.flags.writeable = False
         vals.flags.writeable = False
+        self._segments.append(_chunk_stats(self._sealed_length(), ts, vals))
         self._chunk_ts.append(ts)
         self._chunk_vals.append(vals)
         self._buf_ts = []
         self._buf_vals = []
+
+    def _sealed_length(self) -> int:
+        """Number of points covered by sealed segments (tiling invariant)."""
+        return self._segments[-1].end if self._segments else 0
+
+    # ------------------------------------------------------------------
+    # Zone maps + pruned reads
+    # ------------------------------------------------------------------
+    def chunk_stats(self) -> tuple[ChunkStats, ...]:
+        """Zone maps, one per sealed logical chunk, covering every point.
+
+        The append buffer is sealed first so the returned segments tile
+        the whole series (reads already seal it — see :meth:`arrays`).
+        Maintained incrementally: each chunk's statistics are computed
+        once when it is sealed, survive physical compaction, and are
+        recomputed per segment only when ``replace_values`` rewrites the
+        value column.
+        """
+        self._seal_buffer()
+        return tuple(self._segments)
+
+    def _sealed_slice(self, start: int, end: int
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy views of sealed rows ``[start, end)``.
+
+        A logical segment never straddles physical chunks — chunks are
+        sealed exactly at segment boundaries and compaction concatenates
+        whole segments — so the walk finds one containing chunk.
+        """
+        offset = 0
+        for ts, vals in zip(self._chunk_ts, self._chunk_vals):
+            if end <= offset + ts.size:
+                lo = start - offset
+                return ts[lo:end - offset], vals[lo:end - offset]
+            offset += ts.size
+        raise SeriesFormatError(
+            f"segment [{start}, {end}) outside sealed storage of {self.series}"
+        )
+
+    def scan(self, start: int | None = None, end: int | None = None,
+             value_lo: float | None = None, value_hi: float | None = None
+             ) -> tuple[np.ndarray, np.ndarray, int, int]:
+        """Zone-map-pruned read: ``(timestamps, values, scanned, pruned)``.
+
+        Returns the concatenation of every chunk whose zone map can
+        satisfy the time range ``[start, end)`` and the closed value
+        range ``[value_lo, value_hi]`` (``None`` bounds are open), with
+        boundary chunks clipped to the time range by ``searchsorted``.
+        The result is a conservative *superset* of the matching rows —
+        a value range keeps whole chunks — so callers re-apply their
+        full predicate; pruned chunks are never read or consolidated.
+        NaN values never satisfy a value comparison, which is why a
+        chunk whose non-null range misses the query range may be pruned
+        even when it holds NaNs.
+        """
+        self._seal_buffer()
+        kept_ts: list[np.ndarray] = []
+        kept_vals: list[np.ndarray] = []
+        scanned = pruned = 0
+        # An unconstrained value column keeps every chunk: an all-NaN
+        # chunk satisfies no value *comparison* (so it may be pruned
+        # under any bound), but its rows do appear in an unfiltered
+        # read and must not vanish.
+        has_value_bound = value_lo is not None or value_hi is not None
+        for seg in self._segments:
+            if not (seg.timestamps.may_contain_range(
+                        start, end - 1 if end is not None else None)
+                    and (not has_value_bound
+                         or seg.values.may_contain_range(value_lo,
+                                                         value_hi))):
+                pruned += 1
+                continue
+            scanned += 1
+            ts, vals = self._sealed_slice(seg.start, seg.end)
+            if start is not None or end is not None:
+                lo = int(np.searchsorted(ts, start, side="left")) \
+                    if start is not None else 0
+                hi = int(np.searchsorted(ts, end, side="left")) \
+                    if end is not None else ts.size
+                ts, vals = ts[lo:hi], vals[lo:hi]
+            if ts.size:
+                kept_ts.append(ts)
+                kept_vals.append(vals)
+        if not kept_ts:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64), scanned, pruned)
+        if len(kept_ts) == 1:
+            return kept_ts[0], kept_vals[0], scanned, pruned
+        return (np.concatenate(kept_ts), np.concatenate(kept_vals),
+                scanned, pruned)
 
 
 def parse_series_expr(expr: str) -> tuple[str, dict[str, str]]:

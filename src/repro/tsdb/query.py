@@ -82,13 +82,14 @@ class Downsampler:
         and when every bucket holds the same number of points — the
         dense regular-grid case — the values are reshaped to a
         ``(buckets, width)`` matrix and reduced along axis 1.  Ragged
-        (gappy) buckets use a segmented ``reduceat`` for ``min``/``max``
-        — the same sequential ufunc reduction ``np.min`` applies per
-        slice, so the result is exact — and fall back to one aggregator
-        call per bucket slice for the remaining aggregates (float
-        summation order matters there, and ``reduceat`` would change
-        it).  All paths are bitwise identical to the per-point
-        reference loop.
+        (gappy) buckets use a segmented ``reduceat``: for ``min``/``max``
+        it applies the same sequential ufunc reduction ``np.min`` applies
+        per slice, so the result is exact, and ``sum``/``avg`` reduce
+        each bucket strictly left-to-right (see the tolerance note
+        inline).  Only the order-statistic aggregates (``median``,
+        ``p95``, ``p99``) fall back to one call per ragged bucket.
+        Equal-width buckets and the segmented min/max/count paths are
+        bitwise identical to the per-point reference loop.
         """
         if timestamps.size == 0:
             return timestamps.copy(), values.copy()
@@ -117,6 +118,20 @@ class Downsampler:
             ufunc = np.minimum if agg == "min" else np.maximum
             return out_ts, np.asarray(ufunc.reduceat(values, starts),
                                       dtype=np.float64)
+        if agg in ("sum", "avg"):
+            # Segmented sums over ragged buckets.  ``np.add.reduceat``
+            # accumulates each bucket strictly left-to-right, whereas
+            # the per-bucket ``np.sum`` of the reference loop uses
+            # pairwise summation, so low-order bits can differ once a
+            # bucket is large enough for the pairwise tree to split
+            # (the recursive-summation bound, ~n·eps relative error per
+            # bucket).  Callers needing bitwise equality with the loop
+            # get it on the equal-width path above; the parity tests
+            # pin this path to a 1e-9 relative tolerance.
+            sums = np.add.reduceat(values, starts)
+            if agg == "avg":
+                sums = sums / sizes
+            return out_ts, np.asarray(sums, dtype=np.float64)
         out_vals = np.asarray(
             [self._fn(values[s:e]) for s, e in zip(starts, ends)]
         )

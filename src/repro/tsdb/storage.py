@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Iterator, Mapping
 import numpy as np
 
 from repro.tsdb.model import (
+    ChunkStats,
     DataPoint,
     SeriesData,
     SeriesFormatError,
@@ -178,6 +179,29 @@ class TimeSeriesStore:
             raise SeriesFormatError("store is empty; no time range")
         return self._min_ts, self._max_ts
 
+    def chunk_stats(self, series: SeriesId) -> tuple[ChunkStats, ...]:
+        """Per-sealed-chunk zone maps for one series (see
+        :meth:`SeriesData.chunk_stats`).  Like every derived view, cache
+        results keyed on :attr:`version`."""
+        return self.get(series).chunk_stats()
+
+    def value_range(self) -> tuple[float, float] | None:
+        """(min, max) over all non-NaN values, from zone maps only.
+
+        O(total chunks), touching no data column.  ``None`` when the
+        store holds no non-NaN value.
+        """
+        lo = hi = None
+        for column in self._data.values():
+            for seg in column.chunk_stats():
+                if seg.values.min is None:
+                    continue
+                lo = seg.values.min if lo is None else min(lo, seg.values.min)
+                hi = seg.values.max if hi is None else max(hi, seg.values.max)
+        if lo is None or hi is None:
+            return None
+        return float(lo), float(hi)
+
     # ------------------------------------------------------------------
     # Scans
     # ------------------------------------------------------------------
@@ -238,6 +262,41 @@ class TimeSeriesStore:
                 if end is not None else ts.size
             ts, values = ts[lo:hi], values[lo:hi]
         return ts, values
+
+    def find_exact(self, name: str | None = None,
+                   tags: Mapping[str, str] | None = None) -> list[SeriesId]:
+        """Series matching a name and tag values *literally* (no globs).
+
+        The predicate-pushdown path uses this instead of :meth:`find`
+        because SQL equality must not glob-expand a ``*`` inside a
+        string literal.  Pure index intersection: never walks all
+        series when any exact term is given.
+        """
+        sets: list[set[SeriesId]] = []
+        if name is not None:
+            sets.append(self._by_name.get(name, set()))
+        for key, value in (tags or {}).items():
+            sets.append(self._by_tag.get((key, str(value)), set()))
+        if not sets:
+            return self.series_ids()
+        result = set(min(sets, key=len))
+        for other in sets:
+            result &= other
+        return sorted(result, key=series_sort_key)
+
+    def scan_arrays(self, series: SeriesId,
+                    start: int | None = None, end: int | None = None,
+                    value_lo: float | None = None,
+                    value_hi: float | None = None
+                    ) -> tuple[np.ndarray, np.ndarray, int, int]:
+        """Zone-map-pruned ``(timestamps, values, scanned, pruned)`` read.
+
+        Delegates to :meth:`SeriesData.scan`: sealed chunks whose zone
+        map cannot satisfy the time range ``[start, end)`` or the closed
+        value range are skipped without being read or consolidated; the
+        result is a conservative superset of the matching rows.
+        """
+        return self.get(series).scan(start, end, value_lo, value_hi)
 
     def iter_arrays(self, series_ids: Iterable[SeriesId] | None = None,
                     start: int | None = None,

@@ -166,10 +166,34 @@ class TestAttributedTimings:
                              for h in hypotheses])
         assert np.array_equal(scores, expected)
 
-    def test_fallback_scorer_timings_are_measured(self, rng):
+    def test_l1_batches_like_every_other_scorer(self, rng):
+        """L1 implements score_batch (shared Y-side work), so its
+        same-shape groups get attributed shares like L2's — and scores
+        stay bitwise identical to the sequential path."""
         hypotheses = generate_hypotheses(_families(rng), "target")
-        _, _, attributed = execute_batches(hypotheses, get_scorer("L1"))
-        assert not attributed.any()
+        scorer = get_scorer("L1")
+        scores, _, attributed = execute_batches(hypotheses, scorer)
+        assert attributed.all()
+        expected = np.array([scorer.score(*h.matrices())
+                             for h in hypotheses])
+        assert np.array_equal(scores, expected)
+
+    def test_custom_scorer_without_batch_path_is_adapted(self, rng):
+        from repro.scoring.base import Scorer
+
+        class Plain(Scorer):
+            name = "plain"
+
+            def score(self, x, y, z=None):
+                return float(np.corrcoef(x[:, 0], y[:, 0])[0, 1] ** 2)
+
+        hypotheses = generate_hypotheses(_families(rng), "target")
+        scorer = Plain()
+        scores, _, attributed = execute_batches(hypotheses, scorer)
+        expected = np.array([scorer.score(*h.matrices())
+                             for h in hypotheses])
+        assert np.array_equal(scores, expected)
+        assert attributed.all()    # adapted loop is timed per shape group
 
     def test_single_hypothesis_batch_is_measured(self, rng):
         hypotheses = generate_hypotheses(_families(rng, n=1), "target")

@@ -66,6 +66,61 @@ class TestProjectedL2Scorer:
             ProjectedL2Scorer(d=10, n_projections=0)
 
 
+class TestProjectedBatchPath:
+    def test_narrow_y_batch_matches_sequential_bitwise(self, rng):
+        scorer = ProjectedL2Scorer(d=10, seed=7)
+        y = rng.standard_normal((60, 1))
+        z = rng.standard_normal((60, 2))
+        # Mixed widths: narrow pass-throughs and wide sketches.
+        xs = ([rng.standard_normal((60, 25)) for _ in range(3)]
+              + [rng.standard_normal((60, 4)) for _ in range(2)]
+              + [rng.standard_normal((60, 18))])
+        for condition in (None, z):
+            batch = scorer.score_batch(xs, y, condition)
+            sequential = np.array([scorer.score(x, y, condition)
+                                   for x in xs])
+            assert np.array_equal(batch, sequential)
+
+    def test_wide_y_batch_matches_sequential_bitwise(self, rng):
+        """Y wider than d: each round re-projects Y, but same-shaped
+        hypotheses share the draw sequence, so the stacked path must
+        still match the per-hypothesis loop bitwise."""
+        scorer = ProjectedL2Scorer(d=10, seed=7)
+        y = rng.standard_normal((60, 25))
+        xs = ([rng.standard_normal((60, 25)) for _ in range(3)]
+              + [rng.standard_normal((60, 4)) for _ in range(2)])
+        batch = scorer.score_batch(xs, y)
+        sequential = np.array([scorer.score(x, y) for x in xs])
+        assert np.array_equal(batch, sequential)
+
+    def test_wide_z_batch_matches_sequential_bitwise(self, rng):
+        scorer = ProjectedL2Scorer(d=10, seed=3)
+        y = rng.standard_normal((60, 1))
+        z = rng.standard_normal((60, 30))
+        xs = ([rng.standard_normal((60, 20)) for _ in range(3)]
+              + [rng.standard_normal((60, 5)) for _ in range(2)])
+        batch = scorer.score_batch(xs, y, z)
+        sequential = np.array([scorer.score(x, y, z) for x in xs])
+        assert np.array_equal(batch, sequential)
+
+    def test_wide_y_rounds_stack_one_inner_call_per_round(self, rng):
+        """The wide-Y path issues one inner score_batch per (shape
+        group, round), not one per hypothesis."""
+        scorer = ProjectedL2Scorer(d=10, n_projections=3, seed=1)
+        calls = []
+        inner_batch = scorer._inner.score_batch
+
+        def counting(xs, y, z=None):
+            calls.append(len(xs))
+            return inner_batch(xs, y, z)
+
+        scorer._inner.score_batch = counting
+        y = rng.standard_normal((60, 25))
+        xs = [rng.standard_normal((60, 20)) for _ in range(5)]
+        scorer.score_batch(xs, y)
+        assert calls == [5, 5, 5]
+
+
 class TestPcaBatchPath:
     def test_batch_matches_sequential_bitwise(self, rng):
         """The stacked-SVD truncation equals the per-hypothesis loop."""

@@ -1,11 +1,14 @@
-"""Bitwise parity of the segmented ragged-downsample fast path.
+"""Parity of the segmented ragged-downsample fast paths.
 
 Gappy (irregular) series produce unequal bucket sizes, which used to
 fall back to one Python-level aggregator call per bucket for every
-aggregate.  MIN/MAX now reduce all buckets with one ``reduceat`` call
-(COUNT was already derived from bucket sizes); these tests pin the fast
-path to the per-bucket reference loop bit for bit, and keep the
-loop-fallback aggregates (sum/avg/median/p95) honest too.
+aggregate.  MIN/MAX reduce all buckets with one ``reduceat`` call and
+stay bitwise identical to the reference loop (COUNT was already derived
+from bucket sizes).  SUM/AVG also reduce with one ``np.add.reduceat``,
+but that accumulates each bucket left-to-right while the reference
+loop's ``np.sum`` is pairwise, so those two are pinned to a documented
+1e-9 relative tolerance instead; the order statistics (median/p95/p99)
+keep the per-bucket loop and stay bitwise.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -20,6 +23,16 @@ def _apply_both(interval, agg, ts, vals):
     ref_ts, ref_vals = naive_downsample(interval, agg, ts, vals)
     assert np.array_equal(fast_ts, ref_ts)
     assert np.array_equal(fast_vals, ref_vals), (
+        f"{agg} mismatch: {fast_vals} vs {ref_vals}")
+    return fast_ts, fast_vals
+
+
+def _apply_both_close(interval, agg, ts, vals):
+    """Sequential-vs-pairwise summation parity: documented tolerance."""
+    fast_ts, fast_vals = Downsampler(interval, agg).apply(ts, vals)
+    ref_ts, ref_vals = naive_downsample(interval, agg, ts, vals)
+    assert np.array_equal(fast_ts, ref_ts)
+    assert np.allclose(fast_vals, ref_vals, rtol=1e-9, atol=0.0), (
         f"{agg} mismatch: {fast_vals} vs {ref_vals}")
     return fast_ts, fast_vals
 
@@ -66,8 +79,33 @@ class TestRaggedSegmentedReduction:
         _apply_both(interval, agg, ts, vals)
 
     @given(gappy_series(), st.integers(1, 40),
-           st.sampled_from(["sum", "avg", "median", "p95"]))
+           st.sampled_from(["median", "p95"]))
     @settings(max_examples=60, deadline=None)
     def test_loop_fallback_aggregates_bitwise(self, series, interval, agg):
         ts, vals = series
         _apply_both(interval, agg, ts, vals)
+
+    @given(gappy_series(), st.integers(1, 40),
+           st.sampled_from(["sum", "avg"]))
+    @settings(max_examples=60, deadline=None)
+    def test_segmented_sums_within_tolerance(self, series, interval, agg):
+        ts, vals = series
+        _apply_both_close(interval, agg, ts, vals)
+
+    def test_sum_avg_on_explicitly_gappy_buckets(self):
+        ts = np.asarray([0, 3, 7, 25, 41, 44], dtype=np.int64)
+        vals = np.asarray([5.0, -2.0, 3.5, 9.0, -1.0, -7.25])
+        out_ts, sums = _apply_both_close(10, "sum", ts, vals)
+        assert out_ts.tolist() == [0, 20, 40]
+        assert sums.tolist() == [6.5, 9.0, -8.25]
+        _, avgs = _apply_both_close(10, "avg", ts, vals)
+        assert avgs.tolist() == [6.5 / 3, 9.0, -4.125]
+
+    def test_equal_width_sum_avg_stays_bitwise(self, rng):
+        """Dense regular grids must keep the reshape path's bitwise
+        guarantee — the reduceat tolerance applies to ragged buckets
+        only."""
+        ts = np.arange(120, dtype=np.int64)
+        vals = rng.standard_normal(120) * 1e6
+        for agg in ("sum", "avg"):
+            _apply_both(10, agg, ts, vals)
