@@ -42,13 +42,16 @@ from repro.sql.columnar import (
 )
 from repro.sql.executor import render
 from repro.sql.nodes import (
+    ColumnRef,
     FuncCall,
     Join,
+    Literal,
     Node,
     Select,
     SelectItem,
     Star,
     SubqueryRef,
+    Subscript,
     TableRef,
     Union,
     walk,
@@ -336,9 +339,7 @@ class Planner:
         distinct = 1.0
         known = True
         for key in stmt.group_by:
-            summary = None
-            if stats is not None and hasattr(key, "name"):
-                summary = stats.column(getattr(key, "name"))
+            summary = _group_key_summary(key, stats)
             if summary is not None and summary.distinct:
                 distinct *= summary.distinct
             else:
@@ -352,6 +353,7 @@ class Planner:
     # ------------------------------------------------------------------
     # Sources
     # ------------------------------------------------------------------
+
     def _plan_source(self, source: Node | None
                      ) -> tuple[PlanNode, float | None, TableStats | None]:
         if source is None:
@@ -466,6 +468,26 @@ class Planner:
                 if summary is not None and summary.distinct:
                     return summary.distinct
         return None
+
+
+def _group_key_summary(key: Node, stats: TableStats | None):
+    """Column summary for a GROUP BY key expression.
+
+    Resolves plain column references and map subscripts with a literal
+    string key — ``GROUP BY tag['host']`` prices off the per-tag-key
+    virtual-column statistics the tsdb adapter collects.
+    """
+    if stats is None:
+        return None
+    if isinstance(key, ColumnRef):
+        return stats.column(key.name)
+    if (isinstance(key, Subscript) and isinstance(key.base, ColumnRef)
+            and isinstance(key.index, Literal)
+            and isinstance(key.index.value, str)):
+        return stats.map_column(key.base.name, key.index.value)
+    if hasattr(key, "name"):            # aliased/other named expressions
+        return stats.column(getattr(key, "name"))
+    return None
 
 
 def _tag(eligible: bool) -> str:

@@ -35,6 +35,7 @@ from repro.sql.nodes import (
     Like,
     Literal,
     Node,
+    Subscript,
     UnaryOp,
 )
 
@@ -66,15 +67,33 @@ class ColumnSummary:
 
 @dataclass(frozen=True)
 class TableStats:
-    """Row count plus per-column summaries (column names lower-cased)."""
+    """Row count plus per-column summaries (column names lower-cased).
+
+    ``map_columns`` carries summaries for the *virtual* columns a map
+    subscript projects out — ``(column, key) -> summary`` for
+    expressions like ``tag['host']`` — keyed case-sensitively on the
+    map key (SQL string literals are case-sensitive) and lower-cased on
+    the column name like ``columns``.  A key's ``null_count`` counts
+    rows where the map lacks the key, which is exactly what
+    ``tag['host'] IS NULL`` selects.
+    """
 
     rows: int
     columns: tuple[tuple[str, ColumnSummary], ...] = ()
+    map_columns: tuple[tuple[tuple[str, str], ColumnSummary], ...] = ()
 
     def column(self, name: str) -> ColumnSummary | None:
         lowered = name.lower()
         for col, summary in self.columns:
             if col == lowered:
+                return summary
+        return None
+
+    def map_column(self, name: str, key: str) -> ColumnSummary | None:
+        """Summary for the virtual column ``name[key]``, if collected."""
+        lowered = name.lower()
+        for (col, map_key), summary in self.map_columns:
+            if col == lowered and map_key == key:
                 return summary
         return None
 
@@ -91,11 +110,16 @@ def table_stats(table) -> TableStats:
     if cached is not None:
         return cached
     columns: list[tuple[str, ColumnSummary]] = []
+    map_columns: list[tuple[tuple[str, str], ColumnSummary]] = []
     vectors = table.column_vectors()
     if vectors is not None:
         for name, vec in zip(table.columns, vectors):
             columns.append((name.lower(), _summarise_vector(vec)))
-    stats = TableStats(rows=len(table), columns=tuple(columns))
+            map_columns.extend(
+                ((name.lower(), key), summary)
+                for key, summary in _summarise_map_vector(vec))
+    stats = TableStats(rows=len(table), columns=tuple(columns),
+                       map_columns=tuple(map_columns))
     try:
         table._stats_cache = stats
     except AttributeError:
@@ -132,6 +156,46 @@ def _summarise_vector(vec: np.ndarray) -> ColumnSummary:
                                  distinct=len(set(present)))
         return ColumnSummary(null_count=nulls)
     return ColumnSummary()
+
+
+def _summarise_map_vector(vec: np.ndarray
+                          ) -> list[tuple[str, ColumnSummary]]:
+    """Per-key summaries for a column whose cells are all string maps.
+
+    Returns ``[]`` unless every non-null cell is a dict — the tsdb
+    ``tag`` column.  Cells are typically *shared* dicts (one per
+    series), so deduplicating by identity keeps the walk O(distinct
+    dicts × keys) with per-row work limited to one ``id()`` lookup.
+    """
+    cells = vec.tolist()
+    present = [c for c in cells if c is not None]
+    if not present or not all(isinstance(c, dict) for c in present):
+        return []
+    counts: dict[int, int] = {}
+    by_id: dict[int, dict] = {}
+    for cell in present:
+        ident = id(cell)
+        counts[ident] = counts.get(ident, 0) + 1
+        by_id[ident] = cell
+    key_rows: dict[str, int] = {}
+    key_values: dict[str, set] = {}
+    for ident, tags in by_id.items():
+        n = counts[ident]
+        for key, value in tags.items():
+            key_rows[key] = key_rows.get(key, 0) + n
+            key_values.setdefault(key, set()).add(value)
+    rows = len(cells)
+    out = []
+    for key in sorted(key_rows):
+        values = key_values[key]
+        ordered = sorted(values) if all(
+            isinstance(v, str) for v in values) else None
+        out.append((key, ColumnSummary(
+            min=ordered[0] if ordered else None,
+            max=ordered[-1] if ordered else None,
+            null_count=rows - key_rows[key],
+            distinct=len(values))))
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -175,7 +239,17 @@ def _conjunct_selectivity(node: Node, stats: TableStats | None) -> float:
     summary, comparison = _column_comparison(node, stats)
     if comparison is not None:
         op, value = comparison
-        return _comparison_selectivity(op, value, summary)
+        fraction = _comparison_selectivity(op, value, summary)
+        # A map subscript is NULL wherever the key is absent, and NULL
+        # never satisfies a comparison — scale by the present fraction.
+        # (Plain columns keep the classic estimate: their null counts
+        # are near zero in this schema and the historical numbers are
+        # part of the planner's documented output.)
+        ref = node.left if _is_stats_ref(node.left) else node.right
+        if (isinstance(ref, Subscript) and summary is not None
+                and summary.null_count and stats is not None and stats.rows):
+            fraction *= max(0.0, 1.0 - summary.null_count / stats.rows)
+        return fraction
     if isinstance(node, Between) and not node.negated:
         column, lo, hi = _between_parts(node, stats)
         if column is not None:
@@ -199,25 +273,44 @@ def _conjunct_selectivity(node: Node, stats: TableStats | None) -> float:
 
 def _column_comparison(node: Node, stats: TableStats | None):
     """Match ``col <op> literal`` (either orientation); returns
-    ``(summary, (op, value))`` with ``summary`` possibly ``None``."""
+    ``(summary, (op, value))`` with ``summary`` possibly ``None``.
+
+    ``col`` is a plain column reference or a map subscript with a
+    string-literal key (``tag['host']``) — the virtual column the tsdb
+    stats tier summarises per tag key.
+    """
     flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
                "=": "=", "<>": "<>"}
     if not isinstance(node, BinaryOp) or node.op not in flipped:
         return None, None
-    if isinstance(node.left, ColumnRef) and isinstance(node.right, Literal):
+    if _is_stats_ref(node.left) and isinstance(node.right, Literal):
         return (_column_summary(node.left, stats),
                 (node.op, node.right.value))
-    if isinstance(node.right, ColumnRef) and isinstance(node.left, Literal):
+    if _is_stats_ref(node.right) and isinstance(node.left, Literal):
         return (_column_summary(node.right, stats),
                 (flipped[node.op], node.left.value))
     return None, None
 
 
+def _is_stats_ref(node: Node) -> bool:
+    """Can ``_column_summary`` resolve this expression to a summary?"""
+    if isinstance(node, ColumnRef):
+        return True
+    return (isinstance(node, Subscript)
+            and isinstance(node.base, ColumnRef)
+            and isinstance(node.index, Literal)
+            and isinstance(node.index.value, str))
+
+
 def _column_summary(node: Node, stats: TableStats | None
                     ) -> ColumnSummary | None:
-    if stats is None or not isinstance(node, ColumnRef):
+    if stats is None:
         return None
-    return stats.column(node.name)
+    if isinstance(node, ColumnRef):
+        return stats.column(node.name)
+    if _is_stats_ref(node):             # map subscript with a literal key
+        return stats.map_column(node.base.name, node.index.value)
+    return None
 
 
 def _between_parts(node: Between, stats: TableStats | None):

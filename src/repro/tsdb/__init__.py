@@ -18,6 +18,13 @@ Druid.  This package provides the equivalent substrate for the reproduction:
 - :mod:`repro.tsdb.adapter` — exposes the store as the relational ``tsdb``
   table used by the paper's SQL listings (Appendix C), built columnar.
 - :mod:`repro.tsdb.rollup` — version-invalidated materialised rollup views.
+- :mod:`repro.tsdb.sharded` — the concurrent ingest tier:
+  :class:`~repro.tsdb.sharded.ShardedTimeSeriesStore` (lock-per-shard
+  writes, lock-free snapshot reads).
+- :mod:`repro.tsdb.wal` — append-only write-ahead log with crash-safe
+  replay.
+- :mod:`repro.tsdb.chunkfile` — memmap'd binary snapshot format
+  (zero-parse load; zone maps survive restart).
 """
 
 from repro.tsdb.model import DataPoint, SeriesId, parse_series_expr
@@ -26,12 +33,16 @@ from repro.tsdb.query import Downsampler, ScanQuery
 from repro.tsdb.ingest import parse_line, load_lines
 from repro.tsdb.adapter import register_store, tsdb_table
 from repro.tsdb.rollup import RollupCatalog, RollupSpec
+from repro.tsdb.sharded import ShardedTimeSeriesStore
+from repro.tsdb.wal import WriteAheadLog
 
 __all__ = [
     "DataPoint",
     "SeriesId",
     "parse_series_expr",
     "TimeSeriesStore",
+    "ShardedTimeSeriesStore",
+    "WriteAheadLog",
     "Downsampler",
     "ScanQuery",
     "parse_line",

@@ -190,7 +190,13 @@ def store_stats(store: TimeSeriesStore) -> TableStats:
     if rows:
         ts_min, ts_max = store.time_range()
     val_lo = val_hi = None
+    #: points carrying each tag key — tags are per-series constants, so
+    #: one len() per series prices every tag['key'] virtual column.
+    key_points: dict[str, int] = {}
     for series in store.series_ids():
+        n = len(store.get(series))
+        for key, _ in series.tags:
+            key_points[key] = key_points.get(key, 0) + n
         for seg in store.chunk_stats(series):
             ts_distinct += seg.timestamps.distinct
             val_distinct += seg.values.distinct
@@ -209,10 +215,22 @@ def store_stats(store: TimeSeriesStore) -> TableStats:
             null_count=0, distinct=len(names) or None)),
         ("tag", ColumnSummary(null_count=0)),
         ("value", ColumnSummary(min=val_lo, max=val_hi,
-                                null_count=val_nulls,
-                                distinct=min(val_distinct, rows) or None)),
+                                distinct=min(val_distinct, rows) or None,
+                                null_count=val_nulls)),
     )
-    return TableStats(rows=rows, columns=columns)
+    # Virtual tag['key'] columns: distinct values straight from the
+    # inverted index (exact, unlike the summed chunk estimates), null
+    # count = rows whose series lacks the key — what IS NULL selects.
+    map_columns = []
+    for key in store.tag_keys():
+        values = store.tag_values(key)
+        map_columns.append((("tag", key), ColumnSummary(
+            min=values[0] if values else None,
+            max=values[-1] if values else None,
+            null_count=rows - key_points.get(key, 0),
+            distinct=len(values) or None)))
+    return TableStats(rows=rows, columns=columns,
+                      map_columns=tuple(map_columns))
 
 
 def register_store(db, store: TimeSeriesStore, name: str = "tsdb") -> None:
@@ -225,16 +243,26 @@ def register_store(db, store: TimeSeriesStore, name: str = "tsdb") -> None:
     providers, time-range / metric / tag / value predicates are pushed
     into the store scan (:func:`scan_store`) and the planner reads
     zone-map statistics (:func:`store_stats`) instead of materialising.
+
+    For a concurrent (sharded) store every provider callback reads from
+    one :meth:`snapshot` taken at entry — a multi-series scan must not
+    straddle a version change mid-walk.  Snapshots are cached per
+    version, so while writers are quiet this costs a version compare.
     """
+    if getattr(store, "concurrent", False):
+        read = store.snapshot
+    else:
+        def read() -> TimeSeriesStore:
+            return store
     register_scannable = getattr(db, "register_scannable_provider", None)
     if register_scannable is not None:
         register_scannable(
             name,
-            provider=lambda: tsdb_table(store),
+            provider=lambda: tsdb_table(read()),
             version_fn=lambda: store.version,
-            scan_fn=lambda predicate: scan_store(store, predicate),
-            stats_fn=lambda: store_stats(store),
+            scan_fn=lambda predicate: scan_store(read(), predicate),
+            stats_fn=lambda: store_stats(read()),
         )
         return
     db.register_versioned_provider(
-        name, lambda: tsdb_table(store), lambda: store.version)
+        name, lambda: tsdb_table(read()), lambda: store.version)

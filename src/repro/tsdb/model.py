@@ -258,6 +258,59 @@ class SeriesData:
                 f"chunks={self.num_chunks})")
 
     # ------------------------------------------------------------------
+    # Zero-copy construction / cloning
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sealed(cls, series: SeriesId, timestamps: np.ndarray,
+                    values: np.ndarray,
+                    segments: Iterable[ChunkStats]) -> "SeriesData":
+        """Adopt pre-validated consolidated columns without re-sealing.
+
+        The zero-parse load path (:mod:`repro.tsdb.chunkfile`) calls this
+        with memmap-backed column views and the zone maps that were
+        computed when the chunks were originally sealed, so nothing is
+        copied, parsed, or recomputed.  Inputs are **trusted**:
+        ``timestamps`` must be sorted int64, ``values`` float64 of equal
+        length, and ``segments`` must tile ``[0, len)`` in order — the
+        invariants :meth:`extend` enforces on the write path.
+        """
+        column = cls(series=series)
+        ts = np.asarray(timestamps)
+        vals = np.asarray(values)
+        ts.flags.writeable = False
+        vals.flags.writeable = False
+        if ts.size:
+            column._chunk_ts = [ts]
+            column._chunk_vals = [vals]
+        column._length = int(ts.size)
+        column._consolidated = (ts, vals)
+        column._segments = list(segments)
+        return column
+
+    def freeze(self) -> "SeriesData":
+        """A read-stable clone sharing this series' sealed immutable chunks.
+
+        Seals the append buffer, then copies only the chunk *reference*
+        lists and zone maps — O(chunks), no column data moves.  The clone
+        owns its consolidation cache, so reads on it never mutate shared
+        state, and later appends or compactions on the source build new
+        arrays instead of touching the shared sealed ones.  This is the
+        storage primitive behind lock-free snapshot reads: a frozen
+        clone's bytes can never change, whatever the source does next.
+        """
+        self._seal_buffer()
+        clone = SeriesData.__new__(SeriesData)
+        clone.series = self.series
+        clone._chunk_ts = list(self._chunk_ts)
+        clone._chunk_vals = list(self._chunk_vals)
+        clone._buf_ts = []
+        clone._buf_vals = []
+        clone._length = self._length
+        clone._consolidated = self._consolidated
+        clone._segments = list(self._segments)
+        return clone
+
+    # ------------------------------------------------------------------
     # O(1) introspection
     # ------------------------------------------------------------------
     @property

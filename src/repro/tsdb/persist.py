@@ -1,11 +1,19 @@
-"""Store persistence: text snapshots in the ingest line protocol.
+"""Store persistence: text snapshots plus the zero-parse binary format.
 
-The reproduction keeps everything in memory, but scenarios and benchmark
-traces are worth saving/reloading — and using the ingest protocol as the
-on-disk format means a snapshot is also a valid bulk-load file for any
-other tsdb-protocol consumer.
+Two formats share one entry point (:func:`save_store` /
+:func:`read_store`):
 
-The format groups multi-measurement series back into one line per
+- ``format="text"`` (default) — the ingest line protocol.  Human
+  readable, bulk-loadable by any tsdb-protocol consumer, and the
+  *compatibility oracle*: the binary path is tested against it.
+- ``format="binary"`` — the memmap'd chunkfile
+  (:mod:`repro.tsdb.chunkfile`): raw sealed columns + persisted zone
+  maps, so a million-point store loads without parsing a single point.
+
+:func:`read_store` sniffs the file's leading magic bytes, so loading
+never needs to be told which format a snapshot used.
+
+The text format groups multi-measurement series back into one line per
 (timestamp, base metric, tag set) where possible; series whose names
 carry no ``.measurement`` suffix serialise with a synthetic ``value``
 measurement key.
@@ -19,8 +27,9 @@ from typing import TextIO
 
 import numpy as np
 
+from repro.tsdb import chunkfile
 from repro.tsdb.ingest import load_lines
-from repro.tsdb.model import SeriesId
+from repro.tsdb.model import SeriesFormatError, SeriesId
 from repro.tsdb.storage import TimeSeriesStore
 
 _SNAPSHOT_HEADER = "# repro-tsdb-snapshot v1"
@@ -95,15 +104,32 @@ def loads_store(text: str) -> TimeSeriesStore:
     return load_store(io.StringIO(text))
 
 
-def save_store(store: TimeSeriesStore, path: str | Path) -> int:
-    """Write a snapshot file; returns lines written."""
+def save_store(store: TimeSeriesStore, path: str | Path,
+               format: str = "text") -> int:
+    """Write a snapshot file in the chosen format.
+
+    ``format="text"`` returns lines written; ``format="binary"`` writes
+    a chunkfile and returns bytes written.  Concurrent (sharded) stores
+    are snapshotted first either way, so the file is one consistent cut.
+    """
     path = Path(path)
+    if format == "binary":
+        return chunkfile.write_chunkfile(store, path)
+    if format != "text":
+        raise SeriesFormatError(
+            f"unknown snapshot format {format!r}; use 'text' or 'binary'")
+    if getattr(store, "concurrent", False):
+        store = store.snapshot()
     with path.open("w", encoding="utf-8") as handle:
         return dump_store(store, handle)
 
 
 def read_store(path: str | Path) -> TimeSeriesStore:
-    """Load a snapshot file."""
+    """Load a snapshot file, sniffing the format from its magic bytes."""
     path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(len(chunkfile.MAGIC))
+    if magic == chunkfile.MAGIC:
+        return chunkfile.read_chunkfile(path)
     with path.open("r", encoding="utf-8") as handle:
         return load_store(handle)

@@ -39,6 +39,12 @@ from repro.tsdb.model import (
 class TimeSeriesStore:
     """Mutable collection of time series with index-accelerated scans."""
 
+    #: Single-threaded store: callers must serialise mutations
+    #: themselves.  :class:`~repro.tsdb.sharded.ShardedTimeSeriesStore`
+    #: overrides this, which is how the SQL/persistence seams decide to
+    #: take a consistent :meth:`snapshot` before reading.
+    concurrent = False
+
     @classmethod
     def from_arrays(cls, series_arrays: Mapping[
             SeriesId, tuple[Iterable[int], Iterable[float]]]
@@ -106,6 +112,18 @@ class TimeSeriesStore:
         self._data[series] = column
         self._index(series)
         return column
+
+    def _adopt_column(self, column: SeriesData) -> None:
+        """Register an already-built column without copying its data.
+
+        Internal fast path for :meth:`snapshot` clones and the binary
+        load (:mod:`repro.tsdb.chunkfile`): the column's invariants are
+        trusted and :attr:`version` is *not* bumped — the caller decides
+        what version the assembled store carries.
+        """
+        self._data[column.series] = column
+        self._index(column.series)
+        self._observe(column.min_timestamp, column.max_timestamp)
 
     def _index(self, series: SeriesId) -> None:
         self._by_name[series.name].add(series)
@@ -360,3 +378,36 @@ class TimeSeriesStore:
         """
         for series, ts, values in other.iter_arrays():
             self.insert_array(series, ts, values)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "TimeSeriesStore":
+        """A read-stable copy sharing sealed chunk storage with this store.
+
+        O(series + chunks): every column is cloned with
+        :meth:`SeriesData.freeze` (chunk *references*, never data) and
+        the inverted indexes are shallow-copied.  The snapshot carries
+        the same :attr:`version` and identical bytes; because sealed
+        chunks are immutable and every mutation on the source allocates
+        new arrays, nothing the source does afterwards can change what
+        the snapshot reads — two snapshots taken at equal versions are
+        bitwise-identical.  The snapshot is itself an ordinary store
+        (mutating it only diverges the copy).
+
+        Not safe against *concurrent* mutation of this store — the
+        sharded tier takes its per-shard locks around exactly this call.
+        """
+        snap = TimeSeriesStore()
+        for series, column in self._data.items():
+            snap._data[series] = column.freeze()
+        for name, ids in self._by_name.items():
+            snap._by_name[name] = set(ids)
+        for pair, ids in self._by_tag.items():
+            snap._by_tag[pair] = set(ids)
+        for key, values in self._tag_values.items():
+            snap._tag_values[key] = set(values)
+        snap._min_ts = self._min_ts
+        snap._max_ts = self._max_ts
+        snap._version = self._version
+        return snap

@@ -1,0 +1,161 @@
+"""Per-tag-key statistics and the selectivity they unlock.
+
+PR 6 priced predicates on plain columns only; ``tag['host'] = 'h1'``
+fell back to the default guess.  The stats tier now summarises each tag
+key as a *virtual column* — min/max/distinct over its values, and a
+null count equal to the rows where the map lacks the key — both from
+the tsdb inverted index (:func:`store_stats`) and from a one-pass walk
+of materialised dict columns (:func:`table_stats`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sql import Database, Table
+from repro.sql.parser import parse
+from repro.sql.stats import (
+    TableStats,
+    ColumnSummary,
+    estimate_selectivity,
+    table_stats,
+)
+from repro.tsdb.adapter import register_store, store_stats
+from repro.tsdb.model import SeriesId
+from repro.tsdb.storage import TimeSeriesStore
+
+
+def _store() -> TimeSeriesStore:
+    """4 series, 10 points each; 'dc' present on 3 of 4 series,
+    'rack' on 1."""
+    store = TimeSeriesStore()
+    specs = [
+        {"host": "h1", "dc": "east"},
+        {"host": "h2", "dc": "west"},
+        {"host": "h3", "dc": "east", "rack": "r9"},
+        {"host": "h4"},
+    ]
+    for i, tags in enumerate(specs):
+        store.insert_array(SeriesId.make("cpu.util", tags),
+                           np.arange(10, dtype=np.int64),
+                           np.full(10, float(i)))
+    return store
+
+
+def _where(sql_predicate: str):
+    return parse(f"SELECT * FROM t WHERE {sql_predicate}").where
+
+
+class TestStoreStats:
+    def test_tag_key_summaries_from_inverted_index(self):
+        stats = store_stats(_store())
+        assert stats.rows == 40
+        host = stats.map_column("tag", "host")
+        assert host == ColumnSummary(min="h1", max="h4",
+                                     null_count=0, distinct=4)
+        dc = stats.map_column("tag", "dc")
+        assert dc == ColumnSummary(min="east", max="west",
+                                   null_count=10, distinct=2)
+        rack = stats.map_column("tag", "rack")
+        assert rack.null_count == 30 and rack.distinct == 1
+
+    def test_unknown_key_and_column_return_none(self):
+        stats = store_stats(_store())
+        assert stats.map_column("tag", "missing") is None
+        assert stats.map_column("nottag", "host") is None
+
+    def test_column_name_lowered_key_case_sensitive(self):
+        stats = store_stats(_store())
+        assert stats.map_column("TAG", "dc") is not None
+        assert stats.map_column("tag", "DC") is None
+
+
+class TestTableStatsMapColumns:
+    def test_materialised_dict_column_summarised(self):
+        # Shared dicts per group, like tsdb_table emits per series.
+        # (Map summaries come from the columnar path: row-built tables
+        # have no vectors to walk.)
+        east = {"dc": "east"}
+        west = {"dc": "west", "rack": "r1"}
+        table = Table.from_columns(
+            ["n", "tag"], [np.asarray([1, 2, 3, 4]),
+                           [east, east, west, None]])
+        stats = table_stats(table)
+        dc = stats.map_column("tag", "dc")
+        assert dc == ColumnSummary(min="east", max="west",
+                                   null_count=1, distinct=2)
+        rack = stats.map_column("tag", "rack")
+        assert rack.null_count == 3 and rack.distinct == 1
+
+    def test_non_map_columns_get_no_map_summaries(self):
+        table = Table.from_columns(
+            ["n", "s"], [np.asarray([1, 2]), ["a", "b"]])
+        assert table_stats(table).map_columns == ()
+
+
+class TestTagSelectivity:
+    def test_equality_uses_distinct_and_present_fraction(self):
+        stats = store_stats(_store())
+        # 1/distinct(dc)=1/2, scaled by present fraction 30/40.
+        frac = estimate_selectivity(_where("tag['dc'] = 'east'"), stats)
+        assert frac == pytest.approx(0.5 * 0.75)
+        # host is on every row: no discount.
+        frac = estimate_selectivity(_where("tag['host'] = 'h1'"), stats)
+        assert frac == pytest.approx(0.25)
+
+    def test_flipped_orientation_matches(self):
+        stats = store_stats(_store())
+        assert (estimate_selectivity(_where("'east' = tag['dc']"), stats)
+                == estimate_selectivity(_where("tag['dc'] = 'east'"),
+                                        stats))
+
+    def test_is_null_prices_key_absence(self):
+        stats = store_stats(_store())
+        frac = estimate_selectivity(_where("tag['rack'] IS NULL"), stats)
+        assert frac == pytest.approx(30 / 40)
+        frac = estimate_selectivity(
+            _where("tag['rack'] IS NOT NULL"), stats)
+        assert frac == pytest.approx(10 / 40)
+
+    def test_in_list_uses_distinct(self):
+        stats = store_stats(_store())
+        frac = estimate_selectivity(
+            _where("tag['host'] IN ('h1', 'h2')"), stats)
+        assert frac == pytest.approx(2 / 4)
+
+    def test_unknown_key_falls_back_to_default(self):
+        stats = store_stats(_store())
+        frac = estimate_selectivity(_where("tag['ghost'] = 'x'"), stats)
+        assert frac == pytest.approx(0.1)   # no summary: classic guess
+
+    def test_conjunction_multiplies(self):
+        stats = store_stats(_store())
+        both = estimate_selectivity(
+            _where("tag['dc'] = 'east' AND tag['host'] = 'h1'"), stats)
+        assert both == pytest.approx((0.5 * 0.75) * 0.25)
+
+
+class TestPlannerIntegration:
+    def test_filter_estimate_reflects_tag_stats(self):
+        db = Database()
+        register_store(db, _store())
+        plan = db.explain(
+            "SELECT value FROM tsdb WHERE tag['dc'] = 'east'")
+        # 40 rows * 0.5 * 0.75 = 15.
+        assert "est=15 rows" in plan
+
+    def test_group_by_tag_estimate_uses_distinct(self):
+        db = Database()
+        register_store(db, _store())
+        plan = db.explain(
+            "SELECT tag['host'], COUNT(*) FROM tsdb "
+            "GROUP BY tag['host']")
+        # Grouping on tag['host'] is bounded by its 4 distinct values.
+        assert "est=4 rows" in plan
+
+    def test_group_by_unknown_tag_still_plans(self):
+        db = Database()
+        register_store(db, _store())
+        plan = db.explain(
+            "SELECT tag['ghost'], COUNT(*) FROM tsdb "
+            "GROUP BY tag['ghost']")
+        assert "Aggregate" in plan

@@ -7,8 +7,11 @@ stay bitwise identical to the reference loop (COUNT was already derived
 from bucket sizes).  SUM/AVG also reduce with one ``np.add.reduceat``,
 but that accumulates each bucket left-to-right while the reference
 loop's ``np.sum`` is pairwise, so those two are pinned to a documented
-1e-9 relative tolerance instead; the order statistics (median/p95/p99)
-keep the per-bucket loop and stay bitwise.
+1e-9 relative tolerance instead.  The order statistics (median/p95/p99)
+go through sorted-segment indexing — one ``lexsort`` + index gathers
+replicating numpy's quantile arithmetic — and must stay *bitwise*
+identical to the per-bucket ``np.median``/``np.percentile`` loop, NaN,
+``±inf`` and ``-0.0`` included.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -16,6 +19,13 @@ import numpy as np
 
 from repro.tsdb.query import Downsampler
 from repro.tsdb.reference import naive_downsample
+
+
+def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bit-level equality: distinguishes -0.0 from 0.0, equates NaNs
+    of the same payload (both sides produce the same quiet NaN)."""
+    return np.array_equal(np.asarray(a, dtype=np.float64).view(np.int64),
+                          np.asarray(b, dtype=np.float64).view(np.int64))
 
 
 def _apply_both(interval, agg, ts, vals):
@@ -79,9 +89,9 @@ class TestRaggedSegmentedReduction:
         _apply_both(interval, agg, ts, vals)
 
     @given(gappy_series(), st.integers(1, 40),
-           st.sampled_from(["median", "p95"]))
-    @settings(max_examples=60, deadline=None)
-    def test_loop_fallback_aggregates_bitwise(self, series, interval, agg):
+           st.sampled_from(["median", "p95", "p99"]))
+    @settings(max_examples=90, deadline=None)
+    def test_order_statistics_bitwise(self, series, interval, agg):
         ts, vals = series
         _apply_both(interval, agg, ts, vals)
 
@@ -109,3 +119,73 @@ class TestRaggedSegmentedReduction:
         vals = rng.standard_normal(120) * 1e6
         for agg in ("sum", "avg"):
             _apply_both(10, agg, ts, vals)
+
+
+class TestSegmentedOrderStatistics:
+    """The sorted-segment median/percentile kernel vs the loop, bitwise,
+    under the full float64 bestiary (NaN, ±inf, -0.0, near-overflow)."""
+
+    def _compare(self, interval, agg, ts, vals):
+        fast_ts, fast_vals = Downsampler(interval, agg).apply(ts, vals)
+        with np.errstate(invalid="ignore", over="ignore"):
+            ref_ts, ref_vals = naive_downsample(interval, agg, ts, vals)
+        assert np.array_equal(fast_ts, ref_ts)
+        assert _bitwise_equal(fast_vals, ref_vals), (
+            f"{agg}@{interval} mismatch: {fast_vals} vs {ref_vals}")
+
+    def test_explicit_ragged_median(self):
+        # Buckets of sizes 3 (odd: middle element), 1, 2 (even: mean of
+        # middles) under interval=10.
+        ts = np.asarray([0, 3, 7, 25, 41, 44], dtype=np.int64)
+        vals = np.asarray([5.0, -2.0, 3.5, 9.0, -1.0, -7.25])
+        out_ts, medians = Downsampler(10, "median").apply(ts, vals)
+        assert out_ts.tolist() == [0, 20, 40]
+        assert medians.tolist() == [3.5, 9.0, -4.125]
+        self._compare(10, "median", ts, vals)
+
+    def test_nan_buckets_yield_nan(self):
+        ts = np.asarray([0, 1, 2, 25, 41, 44], dtype=np.int64)
+        vals = np.asarray([5.0, np.nan, 3.5, 9.0, np.nan, np.nan])
+        for agg in ("median", "p95", "p99"):
+            _, out = Downsampler(10, agg).apply(ts, vals)
+            assert np.isnan(out[0]) and not np.isnan(out[1])
+            assert np.isnan(out[2])
+            self._compare(10, agg, ts, vals)
+
+    def test_negative_zero_median_matches_numpy_sign(self):
+        # np.median's mean over the middle slice folds in the additive
+        # identity, turning a -0.0 middle into +0.0; the vectorized
+        # kernel must reproduce that sign exactly.
+        ts = np.asarray([0, 1, 2], dtype=np.int64)
+        vals = np.asarray([-1.0, -0.0, 5.0])
+        _, out = Downsampler(10, "median").apply(ts, vals)
+        assert _bitwise_equal(out, np.asarray([np.median(vals)]))
+        assert not np.signbit(out[0])
+
+    def test_infinity_edge_cases(self):
+        ts = np.asarray([0, 1, 12, 13, 14], dtype=np.int64)
+        vals = np.asarray([np.inf, np.inf, -np.inf, 2.0, np.inf])
+        for agg in ("median", "p95", "p99"):
+            self._compare(10, agg, ts, vals)
+
+    def test_single_point_buckets_are_exact(self):
+        ts = np.asarray([0, 100, 200], dtype=np.int64)
+        vals = np.asarray([-0.0, np.inf, 3.25])
+        for agg in ("median", "p95", "p99"):
+            self._compare(7, agg, ts, vals)
+
+    @given(gappy_series(), st.integers(1, 40),
+           st.sampled_from(["median", "p95", "p99"]),
+           st.data())
+    @settings(max_examples=90, deadline=None)
+    def test_property_bitwise_with_edge_values(self, series, interval,
+                                               agg, data):
+        ts, vals = series
+        vals = vals.copy()
+        # Overwrite a random subset with adversarial floats.
+        specials = [np.nan, np.inf, -np.inf, -0.0, 1e308, -1e308]
+        for i in range(vals.size):
+            if data.draw(st.booleans(), label=f"special@{i}"):
+                vals[i] = data.draw(st.sampled_from(specials),
+                                    label=f"value@{i}")
+        self._compare(interval, agg, ts, vals)
