@@ -8,6 +8,7 @@ Usage (after installation)::
                                                    # zero-copy process pool
     python -m repro.cli explain 5.3 --lags 0 1 2   # lag-augmented scoring
     python -m repro.cli table6 --scale 0.5         # the §6.1 evaluation
+    python -m repro.cli replay --matrix smoke      # incident-matrix replay
     python -m repro.cli scorers                    # registered scorers
     python -m repro.cli sql 5.1 "SELECT ... "      # ad-hoc SQL on a scenario
 
@@ -100,6 +101,33 @@ def build_parser() -> argparse.ArgumentParser:
                               "scoring, e.g. --lags 0 1 2 (detects "
                               "delayed effects; wraps the --scorer)")
 
+    replay = sub.add_parser(
+        "replay",
+        help="replay the incident matrix and print the scorecard")
+    replay.add_argument("--matrix", choices=("smoke", "full"),
+                        default="smoke",
+                        help="which matrix to replay: 'smoke' is one "
+                             "base variant per scenario family (the CI "
+                             "regression fixture), 'full' every "
+                             "family x variant x seed cell")
+    replay.add_argument("--scorers", nargs="+",
+                        default=["CorrMax", "L2", "L2-P50"])
+    replay.add_argument("--ks", type=_positive_int, nargs="+",
+                        default=[1, 3, 5, 10], metavar="K",
+                        help="precision/recall cutoffs")
+    replay.add_argument("--backend", default=None, choices=list(BACKENDS),
+                        help="execution backend for ranking (default: "
+                             "in-line sequential)")
+    replay.add_argument("--workers", type=_positive_int, default=None,
+                        help="worker count for the thread/process "
+                             f"backends (default {DEFAULT_WORKERS})")
+    replay.add_argument("--transfer", default=None,
+                        choices=list(TRANSFERS),
+                        help="matrix transfer for --backend process")
+    replay.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the machine-readable scorecard "
+                             "as JSON ('-' for stdout)")
+
     table6 = sub.add_parser("table6", help="run the §6.1 evaluation")
     table6.add_argument("--scale", type=float, default=1.0)
     table6.add_argument("--samples", type=int, default=240)
@@ -191,6 +219,33 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.evalkit.replay import format_scorecard, replay_matrix
+    from repro.workloads.matrix import matrix_specs
+
+    n_workers, transfer, warnings = resolve_exec_args(
+        args.backend, args.workers, args.transfer)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    specs = matrix_specs(args.matrix)
+    card = replay_matrix(specs, scorers=tuple(args.scorers),
+                         ks=tuple(args.ks), backend=args.backend,
+                         n_workers=n_workers, transfer=transfer,
+                         matrix=args.matrix)
+    if args.json == "-":
+        print(card.to_json(indent=2))
+    else:
+        print(f"Incident matrix: {args.matrix} "
+              f"({len(specs)} scenarios x {len(args.scorers)} scorers)")
+        print()
+        print(format_scorecard(card))
+        if args.json is not None:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(card.to_json(indent=2))
+            print(f"\nscorecard written to {args.json}")
+    return 0
+
+
 def cmd_table6(args: argparse.Namespace) -> int:
     from repro.evalkit import evaluate_scorers, format_table6
     from repro.workloads.incidents import standard_incidents
@@ -221,6 +276,7 @@ _COMMANDS = {
     "scenarios": cmd_scenarios,
     "scorers": cmd_scorers,
     "explain": cmd_explain,
+    "replay": cmd_replay,
     "table6": cmd_table6,
     "sql": cmd_sql,
 }

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.ranking import ScoreTable
+from repro.core.ranking import ScoreTable, ranking_sort_key
 
 
 @dataclass(frozen=True)
@@ -66,7 +66,8 @@ class FusedRanking:
 
 def _build(scores: dict[str, float], counts: dict[str, int],
            method: str, n_tables: int) -> FusedRanking:
-    ordered = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    ordered = sorted(scores.items(),
+                     key=lambda kv: ranking_sort_key(kv[1], kv[0]))
     results = [
         FusedFamily(rank=i + 1, family=name, fused_score=score,
                     appearances=counts[name])

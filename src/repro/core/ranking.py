@@ -8,6 +8,7 @@ corrections from Appendix A.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -24,6 +25,21 @@ from repro.scoring.significance import (
 from repro.sql.table import Table
 
 DEFAULT_TOP_K = 20
+
+
+def ranking_sort_key(score: float, family: str) -> tuple:
+    """Total order of the Score Table: (score desc, family name asc).
+
+    Exact score ties are broken by family name so the ranking — and
+    everything graded from it (evalkit metrics, replay scorecards) — is
+    deterministic and identical across execution backends.  NaN scores
+    sort after every real score; their score component is replaced by a
+    constant so NaN rows are also name-ordered rather than left in
+    comparison-dependent input order.
+    """
+    if math.isnan(score):
+        return (1, 0.0, family)
+    return (0, -score, family)
 
 
 @dataclass
@@ -157,7 +173,7 @@ def rank_families(hypotheses: Sequence[Hypothesis],
         scored.append((hypothesis, float(value), elapsed))
     total = time.perf_counter() - t_start
 
-    scored.sort(key=lambda item: (-item[1], item[0].name))
+    scored.sort(key=lambda item: ranking_sort_key(item[1], item[0].name))
     n_samples = hypotheses[0].y.n_samples
     p_values = np.array([
         p_value_chebyshev(score, n_samples,

@@ -7,13 +7,25 @@
   incidents and print Table 6's per-scenario and summary blocks, plus the
   Figure 10 timing distributions.
 - :mod:`repro.evalkit.cost` — empirical cost curves behind Table 2.
+- :mod:`repro.evalkit.replay` — the incident-replay harness: drive the
+  workloads matrix end-to-end, grade with gains plus precision/recall@k,
+  and emit a deterministic machine-readable scorecard.
 """
 
 from repro.evalkit.metrics import (
     discounted_gain,
     log_discounted_gain,
+    precision_at_k,
+    recall_at_k,
     success_at_k,
     summarize_gains,
+)
+from repro.evalkit.replay import (
+    ReplayCell,
+    Scorecard,
+    format_scorecard,
+    grade_ranking,
+    replay_matrix,
 )
 from repro.evalkit.harness import (
     EvaluationResult,
@@ -27,8 +39,15 @@ from repro.evalkit.cost import CostSample, measure_cost_curve
 __all__ = [
     "discounted_gain",
     "log_discounted_gain",
+    "precision_at_k",
+    "recall_at_k",
     "success_at_k",
     "summarize_gains",
+    "ReplayCell",
+    "Scorecard",
+    "format_scorecard",
+    "grade_ranking",
+    "replay_matrix",
     "EvaluationResult",
     "ScenarioOutcome",
     "evaluate_scorers",

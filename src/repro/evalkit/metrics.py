@@ -51,6 +51,37 @@ def success_at_k(ranking: Sequence[str], causes: Iterable[str],
     return first_cause_rank(ranking, causes, cutoff=k) is not None
 
 
+def precision_at_k(ranking: Sequence[str], causes: Iterable[str],
+                   k: int) -> float:
+    """Fraction of the top-k slots occupied by true causes.
+
+    Unlabelled-but-correlated confounds in the top-k lower precision —
+    the honest cost of a contaminated scenario.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    cause_set = set(causes)
+    return sum(1 for f in ranking[:k] if f in cause_set) / k
+
+
+def recall_at_k(ranking: Sequence[str], causes: Iterable[str],
+                k: int) -> float:
+    """Capped recall: cause hits in the top k over ``min(k, |causes|)``.
+
+    The denominator is capped so the metric reaches 1.0 exactly when
+    every top slot that *could* hold a cause does — with 4 cause
+    families and k=3, a perfect top-3 scores 1.0, not 0.75.  This is
+    the per-scenario score the replay scorecard floors gate on.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    cause_set = set(causes)
+    if not cause_set:
+        raise ValueError("recall@k needs at least one labelled cause")
+    hits = sum(1 for f in ranking[:k] if f in cause_set)
+    return hits / min(k, len(cause_set))
+
+
 def summarize_gains(gains: Sequence[float | None]) -> dict[str, float]:
     """Harmonic/arithmetic summaries with failure imputation.
 

@@ -19,6 +19,10 @@ cause/effect labels derived from its DAG instead of hand labels:
   5.4 weekly RAID) plus the Figure 14 sawtooth.
 - :mod:`repro.workloads.incidents` — the 11 evaluation incidents behind
   Table 6, spanning univariate and joint causes.
+- :mod:`repro.workloads.matrix` — the incident matrix: five scenario
+  families (cascades, congestion, seasonal contamination, correlated
+  storms, slow burns) keyed by (family, variant, seed) for the evalkit
+  replay harness.
 - :mod:`repro.workloads.pipeline` — the minimal Figure 1 three-component
   pipeline used by the quickstart.
 """
@@ -40,6 +44,15 @@ from repro.workloads.scenarios import (
     weekly_raid_scenario,
 )
 from repro.workloads.incidents import Incident, make_incident, standard_incidents
+from repro.workloads.matrix import (
+    SCENARIO_FAMILIES,
+    MatrixError,
+    ReplayScenario,
+    ScenarioSpec,
+    build_scenario,
+    matrix_specs,
+    validate_scenario,
+)
 from repro.workloads.pipeline import figure1_pipeline
 
 __all__ = [
@@ -59,5 +72,12 @@ __all__ = [
     "Incident",
     "make_incident",
     "standard_incidents",
+    "SCENARIO_FAMILIES",
+    "MatrixError",
+    "ReplayScenario",
+    "ScenarioSpec",
+    "build_scenario",
+    "matrix_specs",
+    "validate_scenario",
     "figure1_pipeline",
 ]

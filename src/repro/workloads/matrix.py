@@ -1,0 +1,663 @@
+"""The incident matrix: scenario families for the replay harness.
+
+The paper's evaluation (§6.1, Table 6) is a matrix of production
+incidents graded by discounted ranking gain.  This module is the
+reproduction's version of that matrix at scale: five deterministic
+*scenario families*, each a generator of incidents with exact
+ground-truth cause/effect labels, keyed by ``(family, variant, seed)``
+through one :class:`ScenarioSpec` registry.
+
+The families deliberately contaminate signals the way production data
+does — shared seasonality and trends, temporally-correlated fault
+storms, slow drifts — so the RCA ranking is graded on *principled
+answers over imperfect data*, not on sterile traces:
+
+- ``microservice_cascade`` — multi-tenant service chain where a shared
+  database fault cascades upward through cache/auth latencies into the
+  frontend target.
+- ``network_congestion`` — a cross-traffic burst saturates the core
+  link; congestion propagates through queue depth, packet loss and TCP
+  retransmits into service latency.
+- ``seasonal_contamination`` — the true cause is a modest activation
+  buried under strong diurnal/weekly cycles and a linear trend shared
+  with dozens of decoy metrics.
+- ``correlated_storm`` — several faults fire in overlapping windows;
+  only one drives the target, the rest correlate by timing alone.
+- ``slow_burn`` — a leak-shaped degradation ramps over the whole trace
+  against trending decoys (disk fill) and seasonal noise.
+
+Every builder is pure: the same spec produces byte-identical stores,
+families and labels (see the property tests).  Each scenario emits a
+:class:`~repro.tsdb.storage.TimeSeriesStore` (via ``from_arrays``), a
+:class:`~repro.core.families.FamilySet` grouped by metric name, and
+label sets naming cause/effect families; tags validate against the
+family's :class:`FamilySchema`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.families import FamilySet, families_from_store
+from repro.tsdb.model import SeriesId
+from repro.tsdb.storage import TimeSeriesStore
+from repro.workloads import signals
+
+
+class MatrixError(Exception):
+    """Raised for unknown specs or schema violations."""
+
+
+#: Samples per trace; per-minute-style granularity like the §5 studies.
+N_SAMPLES = 288
+
+#: Seeds used by :func:`matrix_specs` for the full matrix.
+FULL_SEEDS = (0, 1)
+
+#: Seed used by the smoke matrix (the CI regression fixture).
+SMOKE_SEED = 0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Key of one cell of the incident matrix: (family, variant, seed)."""
+
+    family: str
+    variant: str = "base"
+    seed: int = 0
+
+    @property
+    def key(self) -> str:
+        return f"{self.family}/{self.variant}#{self.seed}"
+
+
+@dataclass(frozen=True)
+class FamilySchema:
+    """What a scenario family is allowed to emit.
+
+    ``metrics`` is a regex every metric name must fully match; ``tags``
+    maps each allowed tag key to a regex its values must fully match.
+    Series carrying unknown tag keys are schema violations.
+    """
+
+    metrics: str
+    tags: Mapping[str, str]
+
+    def validate_series(self, series: SeriesId) -> list[str]:
+        """Return a list of violations (empty when the series conforms)."""
+        problems = []
+        if re.fullmatch(self.metrics, series.name) is None:
+            problems.append(f"metric {series.name!r} outside schema")
+        for key, value in series.tags:
+            pattern = self.tags.get(key)
+            if pattern is None:
+                problems.append(f"unknown tag key {key!r} on {series}")
+            elif re.fullmatch(pattern, value) is None:
+                problems.append(f"tag {key}={value!r} fails {pattern!r}")
+        return problems
+
+
+@dataclass
+class ReplayScenario:
+    """One generated incident: store + families + ground-truth labels."""
+
+    spec: ScenarioSpec
+    description: str
+    store: TimeSeriesStore
+    families: FamilySet
+    target: str
+    causes: frozenset[str]
+    effects: frozenset[str]
+    fault_window: tuple[int, int] | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec.key
+
+
+def _finish(spec: ScenarioSpec, description: str,
+            arrays: dict[SeriesId, tuple[np.ndarray, np.ndarray]],
+            target: str, causes: set[str], effects: set[str],
+            fault_window: tuple[int, int] | None = None,
+            extra: dict | None = None) -> ReplayScenario:
+    """Load the arrays into a store and derive the FamilySet from it."""
+    store = TimeSeriesStore.from_arrays(arrays)
+    families = families_from_store(store, group_by="name")
+    missing = ({target} | causes | effects) - set(families.names())
+    if missing:
+        raise MatrixError(
+            f"{spec.key}: labelled families missing from the store: "
+            f"{sorted(missing)}"
+        )
+    if causes & effects:
+        raise MatrixError(
+            f"{spec.key}: families labelled both cause and effect: "
+            f"{sorted(causes & effects)}"
+        )
+    return ReplayScenario(
+        spec=spec,
+        description=description,
+        store=store,
+        families=families,
+        target=target,
+        causes=frozenset(causes),
+        effects=frozenset(effects),
+        fault_window=fault_window,
+        extra=extra or {},
+    )
+
+
+def _fault_window(rng: np.random.Generator, n: int) -> tuple[int, int]:
+    """A mid-trace incident window: start in [n/3, n/2), width ~n/8."""
+    start = int(rng.integers(n // 3, n // 2))
+    width = int(rng.integers(n // 10, n // 6))
+    return start, start + width
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# microservice_cascade
+# ---------------------------------------------------------------------------
+
+def _build_cascade(spec: ScenarioSpec, n_tenants: int = 4,
+                   noise: float = 0.6, intensity: float = 1.0
+                   ) -> ReplayScenario:
+    """Shared-database IO fault cascading up a per-tenant service chain.
+
+    ``db_io_wait`` (the root cause) spikes for every tenant during the
+    fault window; the healthy structural equations propagate it through
+    ``db_latency -> cache_latency -> auth_latency`` into the
+    ``frontend_latency`` target.  ``request_errors`` is a downstream
+    effect of the target; QPS/CPU/sidecar metrics are backgrounds.
+    """
+    rng = np.random.default_rng(spec.seed)
+    n = N_SAMPLES
+    ts = np.arange(n, dtype=np.int64)
+    day = signals.diurnal(n, amplitude=1.0, period=n // 2)
+    start, end = _fault_window(rng, n)
+    fault = signals.window(n, start, end, level=1.0)
+
+    arrays: dict[SeriesId, tuple[np.ndarray, np.ndarray]] = {}
+
+    def put(metric: str, tags: dict, values: np.ndarray) -> None:
+        arrays[SeriesId.make(metric, tags)] = (ts, values)
+
+    for i in range(n_tenants):
+        tenant = f"tenant-{i}"
+        g = lambda: noise * rng.standard_normal(n)        # noqa: E731
+        qps = 50.0 + 10.0 * day + 2.0 * g()
+        io_wait = 2.0 + 9.0 * intensity * fault + g()
+        db = 5.0 + 0.9 * io_wait + 0.02 * qps + g()
+        cache = 3.0 + 0.5 * db + g()
+        auth = 2.0 + 0.4 * cache + g()
+        frontend = 1.0 + 0.5 * auth + 0.3 * cache + 0.01 * qps + 0.5 * g()
+        errors = 0.5 * _relu(frontend - 5.5) + 0.2 * np.abs(g())
+
+        put("db_io_wait", {"tenant": tenant, "service": "db"}, io_wait)
+        put("db_latency", {"tenant": tenant, "service": "db"}, db)
+        put("cache_latency", {"tenant": tenant, "service": "cache"}, cache)
+        put("auth_latency", {"tenant": tenant, "service": "auth"}, auth)
+        put("frontend_latency", {"tenant": tenant, "service": "frontend"},
+            frontend)
+        put("request_errors", {"tenant": tenant, "service": "frontend"},
+            errors)
+        for service in ("frontend", "auth", "cache", "db"):
+            put("service_qps", {"tenant": tenant, "service": service},
+                qps * (0.8 + 0.4 * rng.random()) + 2.0 * g())
+            put("service_cpu", {"tenant": tenant, "service": service},
+                0.3 * qps + 5.0 * g())
+        put("sidecar_restarts", {"tenant": tenant, "service": "frontend"},
+            np.abs(g()))
+
+    return _finish(
+        spec,
+        f"shared db IO fault cascading through {n_tenants} tenant chains "
+        f"during [{start}, {end})",
+        arrays,
+        target="frontend_latency",
+        causes={"db_io_wait", "db_latency", "cache_latency", "auth_latency"},
+        effects={"request_errors"},
+        fault_window=(start, end),
+        extra={"n_tenants": n_tenants},
+    )
+
+
+_CASCADE_SCHEMA = FamilySchema(
+    metrics=(r"(db_io_wait|db_latency|cache_latency|auth_latency|"
+             r"frontend_latency|request_errors|service_qps|service_cpu|"
+             r"sidecar_restarts)"),
+    tags={"tenant": r"tenant-\d+", "service": r"(frontend|auth|cache|db)"},
+)
+
+
+# ---------------------------------------------------------------------------
+# network_congestion
+# ---------------------------------------------------------------------------
+
+def _build_congestion(spec: ScenarioSpec, n_hosts: int = 5,
+                      noise: float = 0.5, burst: float = 1.0
+                      ) -> ReplayScenario:
+    """Cross-traffic burst saturating the core link.
+
+    ``backup_traffic`` (the exogenous root) pushes core
+    ``link_utilization`` past capacity; ``queue_depth``, ``packet_loss``
+    and ``tcp_retransmits`` carry the congestion into per-host
+    ``service_latency`` (the target).  Errors and client retries are
+    downstream effects; ``flow_throughput`` co-varies with the fault but
+    is deliberately left unlabelled (a confound, not a cause or effect).
+    """
+    rng = np.random.default_rng(spec.seed)
+    n = N_SAMPLES
+    ts = np.arange(n, dtype=np.int64)
+    day = signals.diurnal(n, amplitude=1.0, period=n // 2)
+    start, end = _fault_window(rng, n)
+    window = signals.window(n, start, end, level=1.0)
+
+    arrays: dict[SeriesId, tuple[np.ndarray, np.ndarray]] = {}
+
+    def put(metric: str, tags: dict, values: np.ndarray) -> None:
+        arrays[SeriesId.make(metric, tags)] = (ts, values)
+
+    g = lambda s=1.0: s * noise * rng.standard_normal(n)   # noqa: E731
+
+    backup = 40.0 * burst * window * (1.0 + 0.1 * rng.random(n)) + np.abs(g())
+    base_util = 55.0 + 12.0 * day
+    core_util = base_util + backup + g(2.0)
+    queue = _relu(core_util - 80.0) * 0.8 + np.abs(g(0.5))
+    loss = 0.08 * queue + np.abs(g(0.2))
+    put("backup_traffic", {"link": "core"}, backup)
+    put("link_utilization", {"link": "core"}, core_util)
+    put("queue_depth", {"link": "core"}, queue)
+    put("packet_loss", {"link": "core"}, loss)
+
+    for i in range(n_hosts):
+        host = f"host-{i}"
+        uplink = f"uplink-{i}"
+        put("link_utilization", {"link": uplink},
+            30.0 + 8.0 * day + g(2.0))
+        put("queue_depth", {"link": uplink}, np.abs(g(0.5)))
+        share = 0.7 + 0.6 * rng.random()
+        retrans = 20.0 * loss * share + np.abs(g())
+        latency = 2.0 + 0.05 * retrans + 0.06 * queue * share + 0.3 * g()
+        errors = 0.8 * _relu(latency - 3.2) + 0.1 * np.abs(g())
+        retries = 1.5 * errors + 0.2 * np.abs(g())
+        demand = 90.0 + 15.0 * day + g(3.0)
+        put("tcp_retransmits", {"host": host}, retrans)
+        put("service_latency", {"host": host}, latency)
+        put("request_errors", {"host": host}, errors)
+        put("client_retries", {"host": host}, retries)
+        put("flow_throughput", {"host": host}, demand * (1.0 - 0.01 * loss))
+        put("host_cpu", {"host": host}, 40.0 + 10.0 * day + g(3.0))
+        put("host_mem", {"host": host}, 60.0 + g(2.0))
+
+    return _finish(
+        spec,
+        f"backup burst saturating the core link for {n_hosts} hosts "
+        f"during [{start}, {end})",
+        arrays,
+        target="service_latency",
+        causes={"backup_traffic", "link_utilization", "queue_depth",
+                "packet_loss", "tcp_retransmits"},
+        effects={"request_errors", "client_retries"},
+        fault_window=(start, end),
+        extra={"n_hosts": n_hosts},
+    )
+
+
+_CONGESTION_SCHEMA = FamilySchema(
+    metrics=(r"(backup_traffic|link_utilization|queue_depth|packet_loss|"
+             r"tcp_retransmits|service_latency|request_errors|"
+             r"client_retries|flow_throughput|host_cpu|host_mem)"),
+    tags={"link": r"(core|uplink-\d+)", "host": r"host-\d+"},
+)
+
+
+# ---------------------------------------------------------------------------
+# seasonal_contamination
+# ---------------------------------------------------------------------------
+
+def _build_seasonal(spec: ScenarioSpec, n_decoys: int = 24,
+                    contamination: float = 1.0, strength: float = 1.0
+                    ) -> ReplayScenario:
+    """True cause buried under shared seasonality and trend.
+
+    The target and ``n_decoys`` background metrics all share diurnal and
+    weekly cycles plus a linear trend (scaled by ``contamination``); the
+    real cause (``cert_scan_cost``) contributes a window activation the
+    decoys cannot explain.
+    """
+    rng = np.random.default_rng(spec.seed)
+    n = N_SAMPLES
+    ts = np.arange(n, dtype=np.int64)
+    day = signals.diurnal(n, amplitude=1.0, period=n // 3)
+    week = signals.diurnal(n, amplitude=1.0, period=n, phase=0.7)
+    trend = np.linspace(0.0, 1.0, n)
+    start, end = _fault_window(rng, n)
+    activation = signals.window(n, start, end, level=1.0)
+
+    arrays: dict[SeriesId, tuple[np.ndarray, np.ndarray]] = {}
+
+    def put(metric: str, tags: dict, values: np.ndarray) -> None:
+        arrays[SeriesId.make(metric, tags)] = (ts, values)
+
+    g = lambda s=1.0: s * rng.standard_normal(n)           # noqa: E731
+
+    cause = 1.0 + 6.0 * strength * activation + 0.2 * day + 0.3 * np.abs(g())
+    put("cert_scan_cost", {"host": "ca-1"}, cause)
+
+    for r in range(2):
+        region = f"region-{r}"
+        season = contamination * (1.2 * day + 0.8 * week + 0.9 * trend)
+        target = 3.0 + season + 3.5 * strength * activation + 0.5 * g()
+        target_std = (target - target.mean()) / (target.std() + 1e-9)
+        put("api_latency", {"region": region}, target)
+        put("queue_lag", {"region": region},
+            0.8 * target_std + 0.4 * g())
+
+    for d in range(n_decoys):
+        leak = contamination * (0.4 + 0.8 * rng.random())
+        phase_day = signals.diurnal(n, amplitude=1.0, period=n // 3,
+                                    phase=0.3 * rng.standard_normal())
+        decoy = (leak * (1.2 * phase_day + 0.8 * week)
+                 + leak * rng.random() * trend + g())
+        put(f"seasonal_bg_{d}", {"region": f"region-{d % 2}"}, decoy)
+
+    return _finish(
+        spec,
+        f"window activation under shared seasonality/trend with "
+        f"{n_decoys} contaminated decoys, fault [{start}, {end})",
+        arrays,
+        target="api_latency",
+        causes={"cert_scan_cost"},
+        effects={"queue_lag"},
+        fault_window=(start, end),
+        extra={"n_decoys": n_decoys},
+    )
+
+
+_SEASONAL_SCHEMA = FamilySchema(
+    metrics=r"(cert_scan_cost|api_latency|queue_lag|seasonal_bg_\d+)",
+    tags={"host": r"ca-\d+", "region": r"region-\d+"},
+)
+
+
+# ---------------------------------------------------------------------------
+# correlated_storm
+# ---------------------------------------------------------------------------
+
+def _build_storm(spec: ScenarioSpec, n_decoy_faults: int = 4,
+                 overlap: float = 0.6, noise: float = 0.5
+                 ) -> ReplayScenario:
+    """Several faults firing together; only one drives the target.
+
+    A storm interval holds the true fault window (a bad deploy whose
+    config reloads stall the API) and ``n_decoy_faults`` decoy faults
+    whose windows overlap the storm by roughly ``overlap`` — correlated
+    in time but causally disconnected from the target.
+    """
+    rng = np.random.default_rng(spec.seed)
+    n = N_SAMPLES
+    ts = np.arange(n, dtype=np.int64)
+    start, end = _fault_window(rng, n)
+    width = end - start
+    w_true = signals.window(n, start, end, level=1.0)
+
+    arrays: dict[SeriesId, tuple[np.ndarray, np.ndarray]] = {}
+
+    def put(metric: str, tags: dict, values: np.ndarray) -> None:
+        arrays[SeriesId.make(metric, tags)] = (ts, values)
+
+    g = lambda s=1.0: s * noise * rng.standard_normal(n)   # noqa: E731
+
+    deploy = w_true * (1.0 + 0.05 * rng.random(n)) + 0.05 * np.abs(g())
+    reload_time = 3.0 + 6.0 * w_true + g()
+    put("bad_deploy", {"service": "api"}, deploy)
+    put("config_reload_time", {"service": "api"}, reload_time)
+
+    for i in range(3):
+        instance = f"api-{i}"
+        latency = 2.0 + 0.8 * reload_time + g()
+        timeouts = 0.7 * _relu(latency - 6.0) + 0.1 * np.abs(g())
+        put("api_latency", {"instance": instance}, latency)
+        put("timeout_errors", {"instance": instance}, timeouts)
+
+    decoy_metrics = ("batch_job_io", "crawler_qps", "backup_bandwidth",
+                     "scan_cpu", "compaction_debt", "mirror_lag")
+    # Decoy windows are displaced by at least a quarter width (never a
+    # perfect copy of the true window) and at most ``1 - overlap``.
+    min_shift = max(2, width // 4)
+    max_shift = max(min_shift, int(round(width * (1.0 - overlap))))
+    for i in range(n_decoy_faults):
+        metric = decoy_metrics[i % len(decoy_metrics)]
+        sign = int(rng.choice((-1, 1)))
+        shift = sign * int(rng.integers(min_shift, max_shift + 1))
+        jitter = int(rng.integers(-width // 4, width // 4 + 1))
+        w = signals.window(n, start + shift, end + shift + jitter, level=1.0)
+        put(metric, {"host": f"host-{i}"},
+            5.0 * w * (1.0 + 0.1 * rng.random(n)) + np.abs(g()))
+
+    for i in range(4):
+        put("bg_cpu", {"host": f"host-{i}"},
+            35.0 + 8.0 * signals.diurnal(n, period=n // 2) + g(3.0))
+
+    return _finish(
+        spec,
+        f"{n_decoy_faults} decoy faults overlapping the true deploy "
+        f"window [{start}, {end}) by ~{overlap:.0%}",
+        arrays,
+        target="api_latency",
+        causes={"bad_deploy", "config_reload_time"},
+        effects={"timeout_errors"},
+        fault_window=(start, end),
+        extra={"n_decoy_faults": n_decoy_faults, "overlap": overlap},
+    )
+
+
+_STORM_SCHEMA = FamilySchema(
+    metrics=(r"(bad_deploy|config_reload_time|api_latency|timeout_errors|"
+             r"batch_job_io|crawler_qps|backup_bandwidth|scan_cpu|"
+             r"compaction_debt|mirror_lag|bg_cpu)"),
+    tags={"service": r"api", "instance": r"api-\d+", "host": r"host-\d+"},
+)
+
+
+# ---------------------------------------------------------------------------
+# slow_burn
+# ---------------------------------------------------------------------------
+
+def _build_slow_burn(spec: ScenarioSpec, n_workers: int = 4,
+                     noise: float = 0.4, severity: float = 1.0
+                     ) -> ReplayScenario:
+    """A leak-shaped degradation ramping over the whole trace.
+
+    ``heap_used`` climbs super-linearly; ``gc_pause_time`` tracks its
+    square (pauses get disproportionately long as the heap fills) and
+    drives ``worker_latency`` (the target).  ``disk_used`` fills
+    *linearly* — a trending decoy that correlates with the ramp but
+    cannot explain the accelerating pauses.
+    """
+    rng = np.random.default_rng(spec.seed)
+    n = N_SAMPLES
+    ts = np.arange(n, dtype=np.int64)
+    day = signals.diurnal(n, amplitude=1.0, period=n // 2)
+    ramp = (np.arange(n, dtype=np.float64) / n) ** 1.5
+
+    arrays: dict[SeriesId, tuple[np.ndarray, np.ndarray]] = {}
+
+    def put(metric: str, tags: dict, values: np.ndarray) -> None:
+        arrays[SeriesId.make(metric, tags)] = (ts, values)
+
+    g = lambda s=1.0: s * noise * rng.standard_normal(n)   # noqa: E731
+
+    for i in range(n_workers):
+        worker = f"worker-{i}"
+        heap = (30.0 + 55.0 * severity * ramp
+                + signals.random_walk(n, rng, step_std=0.4) + g())
+        gc = 0.3 + 6.0 * severity * ramp ** 2 * (1.0 + 0.3 * rng.random(n)) \
+            + 0.3 * np.abs(g())
+        latency = 5.0 + 1.5 * gc + 0.4 * day + 0.5 * g()
+        errors = 0.6 * _relu(latency - 8.0) + 0.1 * np.abs(g())
+        put("heap_used", {"worker": worker}, heap)
+        put("gc_pause_time", {"worker": worker}, gc)
+        put("worker_latency", {"worker": worker}, latency)
+        put("error_rate", {"worker": worker}, errors)
+        put("disk_used", {"worker": worker},
+            20.0 + 30.0 * np.arange(n) / n + g())
+        put("net_io", {"worker": worker}, 25.0 + 6.0 * day + g(2.0))
+        put("ctx_switches", {"worker": worker}, 10.0 + g(3.0))
+
+    return _finish(
+        spec,
+        f"accelerating gc-pause degradation over {n_workers} workers "
+        f"against linear-trend decoys",
+        arrays,
+        target="worker_latency",
+        causes={"heap_used", "gc_pause_time"},
+        effects={"error_rate"},
+        fault_window=None,
+        extra={"n_workers": n_workers},
+    )
+
+
+_SLOW_BURN_SCHEMA = FamilySchema(
+    metrics=(r"(heap_used|gc_pause_time|worker_latency|error_rate|"
+             r"disk_used|net_io|ctx_switches)"),
+    tags={"worker": r"worker-\d+"},
+)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One row of the registry: builder + variants + tag schema."""
+
+    name: str
+    description: str
+    builder: Callable[..., ReplayScenario]
+    variants: Mapping[str, Mapping[str, float]]
+    schema: FamilySchema
+
+
+SCENARIO_FAMILIES: dict[str, ScenarioFamily] = {
+    "microservice_cascade": ScenarioFamily(
+        name="microservice_cascade",
+        description="shared-db fault cascading up per-tenant service chains",
+        builder=_build_cascade,
+        variants={
+            "base": dict(n_tenants=4, noise=0.6, intensity=1.0),
+            "noisy": dict(n_tenants=4, noise=1.3, intensity=0.9),
+            "wide": dict(n_tenants=8, noise=0.6, intensity=1.0),
+        },
+        schema=_CASCADE_SCHEMA,
+    ),
+    "network_congestion": ScenarioFamily(
+        name="network_congestion",
+        description="cross-traffic burst congesting the core link",
+        builder=_build_congestion,
+        variants={
+            "base": dict(n_hosts=5, noise=0.5, burst=1.0),
+            "noisy": dict(n_hosts=5, noise=1.1, burst=0.9),
+            "wide": dict(n_hosts=10, noise=0.5, burst=1.0),
+        },
+        schema=_CONGESTION_SCHEMA,
+    ),
+    "seasonal_contamination": ScenarioFamily(
+        name="seasonal_contamination",
+        description="window activation under shared seasonality and trend",
+        builder=_build_seasonal,
+        variants={
+            "base": dict(n_decoys=24, contamination=1.0, strength=1.0),
+            "noisy": dict(n_decoys=24, contamination=1.6, strength=0.9),
+            "wide": dict(n_decoys=48, contamination=1.0, strength=1.0),
+        },
+        schema=_SEASONAL_SCHEMA,
+    ),
+    "correlated_storm": ScenarioFamily(
+        name="correlated_storm",
+        description="overlapping fault windows, one true driver",
+        builder=_build_storm,
+        variants={
+            "base": dict(n_decoy_faults=4, overlap=0.6, noise=0.5),
+            "noisy": dict(n_decoy_faults=4, overlap=0.75, noise=1.0),
+            "wide": dict(n_decoy_faults=6, overlap=0.6, noise=0.5),
+        },
+        schema=_STORM_SCHEMA,
+    ),
+    "slow_burn": ScenarioFamily(
+        name="slow_burn",
+        description="accelerating leak degradation against trending decoys",
+        builder=_build_slow_burn,
+        variants={
+            "base": dict(n_workers=4, noise=0.4, severity=1.0),
+            "noisy": dict(n_workers=4, noise=0.9, severity=0.9),
+            "wide": dict(n_workers=8, noise=0.4, severity=1.0),
+        },
+        schema=_SLOW_BURN_SCHEMA,
+    ),
+}
+
+
+def build_scenario(spec: ScenarioSpec) -> ReplayScenario:
+    """Build one incident from its matrix key.
+
+    Raises :class:`MatrixError` for unknown families or variants.  The
+    same spec always produces byte-identical output.
+    """
+    family = SCENARIO_FAMILIES.get(spec.family)
+    if family is None:
+        raise MatrixError(
+            f"unknown scenario family {spec.family!r}; available: "
+            f"{sorted(SCENARIO_FAMILIES)}"
+        )
+    params = family.variants.get(spec.variant)
+    if params is None:
+        raise MatrixError(
+            f"unknown variant {spec.variant!r} for {spec.family}; "
+            f"available: {sorted(family.variants)}"
+        )
+    return family.builder(spec, **params)
+
+
+def validate_scenario(scenario: ReplayScenario) -> None:
+    """Check every generated series against its family's tag schema."""
+    family = SCENARIO_FAMILIES.get(scenario.spec.family)
+    if family is None:
+        raise MatrixError(
+            f"unknown scenario family {scenario.spec.family!r}"
+        )
+    problems: list[str] = []
+    for series in scenario.store.series_ids():
+        problems.extend(family.schema.validate_series(series))
+    if problems:
+        raise MatrixError(
+            f"{scenario.name}: schema violations: {problems[:5]}"
+        )
+
+
+def matrix_specs(matrix: str = "smoke") -> list[ScenarioSpec]:
+    """The spec list of a named matrix.
+
+    ``"smoke"`` is one base variant per family at :data:`SMOKE_SEED` —
+    the CI regression fixture.  ``"full"`` is every family x variant x
+    :data:`FULL_SEEDS` cell.
+    """
+    if matrix == "smoke":
+        return [ScenarioSpec(name, "base", SMOKE_SEED)
+                for name in SCENARIO_FAMILIES]
+    if matrix == "full":
+        return [ScenarioSpec(name, variant, seed)
+                for name in SCENARIO_FAMILIES
+                for variant in SCENARIO_FAMILIES[name].variants
+                for seed in FULL_SEEDS]
+    raise MatrixError(f"unknown matrix {matrix!r}; use 'smoke' or 'full'")

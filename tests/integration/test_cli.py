@@ -42,6 +42,21 @@ class TestParser:
         assert args.transfer == "pickle"
         assert args.lags == [0, 1, 2]
 
+    def test_replay_defaults(self):
+        args = build_parser().parse_args(["replay"])
+        assert args.matrix == "smoke"
+        assert args.scorers == ["CorrMax", "L2", "L2-P50"]
+        assert args.ks == [1, 3, 5, 10]
+        assert args.json is None
+
+    def test_replay_rejects_unknown_matrix(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--matrix", "giant"])
+
+    def test_replay_rejects_nonpositive_k(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--ks", "0"])
+
 
 class TestResolveExecArgs:
     def test_defaults(self):
@@ -137,6 +152,35 @@ class TestCommands:
         assert main(["sql", "fig14", "SELEKT broken"]) == 1
         err = capsys.readouterr().err
         assert "SQL error" in err
+
+    def test_replay_smoke_prints_scorecard(self, capsys):
+        assert main(["replay", "--matrix", "smoke",
+                     "--scorers", "CorrMax", "--ks", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Incident matrix: smoke (5 scenarios x 1 scorers)" in out
+        assert "slow_burn/base#0" in out
+        assert "Mean recall@3" in out
+
+    def test_replay_json_to_stdout(self, capsys):
+        import json
+
+        assert main(["replay", "--matrix", "smoke",
+                     "--scorers", "L2", "--ks", "1", "3",
+                     "--json", "-"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["matrix"] == "smoke"
+        assert len(doc["cells"]) == 5
+
+    def test_replay_json_to_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "scorecard.json"
+        assert main(["replay", "--matrix", "smoke", "--scorers", "CorrMax",
+                     "--ks", "3", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"scorecard written to {path}" in out
+        doc = json.loads(path.read_text())
+        assert doc["scorers"] == ["CorrMax"]
 
     def test_table6_small(self, capsys):
         assert main(["table6", "--scale", "0.15", "--samples", "120",

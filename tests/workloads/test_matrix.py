@@ -1,0 +1,126 @@
+"""Unit tests for the incident matrix (scenario families + registry)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.matrix import (
+    FULL_SEEDS,
+    N_SAMPLES,
+    SCENARIO_FAMILIES,
+    MatrixError,
+    ScenarioSpec,
+    build_scenario,
+    matrix_specs,
+    validate_scenario,
+)
+
+
+class TestRegistry:
+    def test_five_families_registered(self):
+        assert len(SCENARIO_FAMILIES) == 5
+        assert set(SCENARIO_FAMILIES) == {
+            "microservice_cascade", "network_congestion",
+            "seasonal_contamination", "correlated_storm", "slow_burn",
+        }
+
+    def test_every_family_has_three_variants(self):
+        for family in SCENARIO_FAMILIES.values():
+            assert set(family.variants) == {"base", "noisy", "wide"}
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(MatrixError, match="unknown scenario family"):
+            build_scenario(ScenarioSpec("quantum_flap", "base", 0))
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(MatrixError, match="unknown variant"):
+            build_scenario(ScenarioSpec("slow_burn", "hyper", 0))
+
+    def test_spec_key_format(self):
+        spec = ScenarioSpec("slow_burn", "wide", 7)
+        assert spec.key == "slow_burn/wide#7"
+
+    def test_smoke_matrix_is_one_base_cell_per_family(self):
+        specs = matrix_specs("smoke")
+        assert len(specs) == 5
+        assert {s.family for s in specs} == set(SCENARIO_FAMILIES)
+        assert all(s.variant == "base" and s.seed == 0 for s in specs)
+
+    def test_full_matrix_covers_every_cell(self):
+        specs = matrix_specs("full")
+        assert len(specs) == 5 * 3 * len(FULL_SEEDS)
+        assert len(set(specs)) == len(specs)
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(MatrixError, match="unknown matrix"):
+            matrix_specs("galaxy")
+
+
+@pytest.mark.parametrize("family", sorted(SCENARIO_FAMILIES))
+class TestScenarioInvariants:
+    def test_smoke_scenario_well_formed(self, family):
+        scenario = build_scenario(ScenarioSpec(family, "base", 0))
+        assert scenario.name == f"{family}/base#0"
+        # The target exists and is labelled neither cause nor effect.
+        assert scenario.target in scenario.families
+        assert scenario.target not in scenario.causes | scenario.effects
+        assert not scenario.causes & scenario.effects
+        for name in scenario.causes | scenario.effects:
+            assert name in scenario.families
+        # Families share one grid of the advertised length.
+        lengths = {f.n_samples for f in scenario.families}
+        assert lengths == {N_SAMPLES}
+        # No NaN survives family materialisation.
+        for fam in scenario.families:
+            assert np.isfinite(fam.matrix).all()
+        # The store backs the family set: same total feature count.
+        assert scenario.families.total_features() == len(
+            scenario.store.series_ids())
+
+    def test_schema_validates(self, family):
+        for variant in SCENARIO_FAMILIES[family].variants:
+            validate_scenario(build_scenario(ScenarioSpec(family, variant, 3)))
+
+    def test_fault_window_inside_trace(self, family):
+        scenario = build_scenario(ScenarioSpec(family, "base", 1))
+        if scenario.fault_window is not None:
+            start, end = scenario.fault_window
+            assert 0 <= start < end <= N_SAMPLES
+
+    def test_wide_variant_is_wider(self, family):
+        base = build_scenario(ScenarioSpec(family, "base", 0))
+        wide = build_scenario(ScenarioSpec(family, "wide", 0))
+        assert (wide.families.total_features()
+                > base.families.total_features())
+
+
+class TestSchemaEnforcement:
+    def test_unknown_tag_key_is_a_violation(self):
+        scenario = build_scenario(
+            ScenarioSpec("slow_burn", "base", 0))
+        # Sneak a series with an out-of-schema tag into the store.
+        from repro.tsdb.model import SeriesId
+        scenario.store.insert_array(
+            SeriesId.make("heap_used", {"rack": "r1"}),
+            np.arange(4), np.ones(4))
+        with pytest.raises(MatrixError, match="unknown tag key"):
+            validate_scenario(scenario)
+
+    def test_unknown_metric_is_a_violation(self):
+        scenario = build_scenario(
+            ScenarioSpec("slow_burn", "base", 0))
+        from repro.tsdb.model import SeriesId
+        scenario.store.insert_array(
+            SeriesId.make("mystery_metric", {"worker": "worker-0"}),
+            np.arange(4), np.ones(4))
+        with pytest.raises(MatrixError, match="outside schema"):
+            validate_scenario(scenario)
+
+    def test_bad_tag_value_is_a_violation(self):
+        scenario = build_scenario(
+            ScenarioSpec("slow_burn", "base", 0))
+        from repro.tsdb.model import SeriesId
+        scenario.store.insert_array(
+            SeriesId.make("heap_used", {"worker": "the-big-one"}),
+            np.arange(4), np.ones(4))
+        with pytest.raises(MatrixError, match="fails"):
+            validate_scenario(scenario)
