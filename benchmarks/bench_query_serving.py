@@ -1,0 +1,319 @@
+"""Concurrent query-serving tier bench: QueryServer vs per-request.
+
+Exercises the serving tier end to end against the per-request baseline
+(a fresh :class:`~repro.sql.Database` registered over a fresh snapshot
+for every query — what a caller without the server has to do):
+
+- **Hot repeated-query mix** — a dashboard of ``H`` distinct SQL
+  statements is refreshed many times through a
+  :class:`~repro.serve.QueryServer` worker pool.  Repeat requests hit
+  the version-keyed result cache; the per-request baseline re-registers
+  and re-scans the store every time.  Reported as QPS; the served run
+  must beat the baseline by >= ``--hot-floor`` (default 5x, asserted in
+  ``--smoke``).  Every distinct query's served result is asserted
+  bitwise-identical to a fresh computation.
+- **Mixed dashboard + concurrent ingest** — refresh bursts of hot
+  panels plus always-cold range scans are served while ``K`` writer
+  threads append into the store.  Reports p50/p99 request latency and
+  the cache hit rate; asserts zero staleness (every result's pinned
+  version is at least the version observed before submission) and, after
+  the writers quiesce, re-verifies sampled results bitwise against a
+  fresh computation on their own pinned snapshot.
+- **Repeated explain** — the same root-cause ``explain`` request served
+  repeatedly (cache hits after the first) versus rebuilding families,
+  hypotheses and the ranking per request; rankings asserted identical.
+
+Run directly (``python benchmarks/bench_query_serving.py``) for the
+full configuration, or with ``--smoke`` for the small CI configuration
+that asserts the hot-mix floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import struct
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.families import families_from_store
+from repro.core.hypothesis import generate_hypotheses
+from repro.core.ranking import rank_families
+from repro.serve import QueryServer
+from repro.sql import Database
+from repro.tsdb.adapter import register_store
+from repro.tsdb.model import SeriesId
+from repro.tsdb.sharded import ShardedTimeSeriesStore
+
+N_WORKERS = 4
+N_WRITERS = 4
+
+#: The dashboard's hot panel queries — grouped aggregates, pruned range
+#: scans and tag cuts, refreshed on every cycle.
+HOT_QUERIES = (
+    "SELECT metric_name, COUNT(*) AS n, AVG(value) AS v FROM tsdb "
+    "GROUP BY metric_name ORDER BY metric_name",
+    "SELECT metric_name, MIN(value) AS lo, MAX(value) AS hi FROM tsdb "
+    "WHERE timestamp BETWEEN 64 AND 512 GROUP BY metric_name "
+    "ORDER BY metric_name",
+    "SELECT metric_name, COUNT(*) AS n FROM tsdb "
+    "WHERE tag['host'] = 'h1' GROUP BY metric_name ORDER BY metric_name",
+    "SELECT COUNT(*) AS n, AVG(value) AS v FROM tsdb "
+    "WHERE metric_name = 'target_metric'",
+    "SELECT metric_name, AVG(value) AS v FROM tsdb "
+    "WHERE tag['host'] = 'h0' GROUP BY metric_name ORDER BY v DESC",
+)
+
+
+def cold_query(i: int) -> str:
+    """A range scan no one asked before (and no one will again)."""
+    lo = 7 * i
+    return (f"SELECT COUNT(*) AS n, AVG(value) AS v FROM tsdb "
+            f"WHERE timestamp BETWEEN {lo} AND {lo + 96}")
+
+
+def make_store(n_points: int, n_hosts: int, seed: int = 0):
+    """Family-structured telemetry: cause -> target plus decoys/host."""
+    store = ShardedTimeSeriesStore(n_shards=8)
+    rng = np.random.default_rng(seed)
+    ts = np.arange(n_points, dtype=np.int64)
+    cause = np.cumsum(rng.standard_normal(n_points))
+    for h in range(n_hosts):
+        host = {"host": f"h{h}"}
+        store.insert_array(SeriesId.make("cause_metric", host), ts,
+                           cause + 0.1 * rng.standard_normal(n_points))
+        store.insert_array(SeriesId.make("target_metric", host), ts,
+                           2.0 * cause + 0.2 * rng.standard_normal(n_points))
+        for d in range(4):
+            store.insert_array(SeriesId.make(f"decoy_{d}", host), ts,
+                               rng.standard_normal(n_points))
+    return store
+
+
+def fresh_query(store, query: str):
+    """The per-request baseline: new Database over a new snapshot."""
+    db = Database()
+    register_store(db, store.snapshot())
+    return db.sql(query)
+
+
+def _bitwise_rows(table):
+    return [tuple(struct.pack("<d", c) if isinstance(c, float) else c
+                  for c in row)
+            for row in table.rows]
+
+
+def assert_bitwise_equal(a, b) -> None:
+    assert a.columns == b.columns
+    assert _bitwise_rows(a) == _bitwise_rows(b)
+
+
+def _percentile(sorted_values, q: float) -> float:
+    return sorted_values[int(q * (len(sorted_values) - 1))]
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: hot repeated-query mix (the gated speedup)
+# ---------------------------------------------------------------------------
+
+def bench_hot_mix(n_points: int, n_hosts: int, refreshes: int) -> dict:
+    store = make_store(n_points, n_hosts)
+    requests = [HOT_QUERIES[i % len(HOT_QUERIES)]
+                for i in range(refreshes * len(HOT_QUERIES))]
+    fresh_query(store, HOT_QUERIES[0])        # warm numpy/parser machinery
+
+    with ThreadPoolExecutor(max_workers=N_WORKERS) as pool:
+        start = time.perf_counter()
+        futures = [pool.submit(fresh_query, store, q) for q in requests]
+        for future in futures:
+            future.result()
+        base_elapsed = time.perf_counter() - start
+
+    with QueryServer(store, n_workers=N_WORKERS) as server:
+        start = time.perf_counter()
+        futures = [server.submit_sql(q) for q in requests]
+        for future in futures:
+            future.result()
+        served_elapsed = time.perf_counter() - start
+        # Bitwise parity per distinct panel, against the baseline path.
+        for query in HOT_QUERIES:
+            assert_bitwise_equal(server.sql(query), fresh_query(store, query))
+        cache = server.stats()["cache"]
+    hit_rate = cache["hits"] / max(1, cache["hits"] + cache["misses"])
+
+    n = len(requests)
+    return {
+        "stage": f"hot mix x{len(HOT_QUERIES)} panels",
+        "baseline_seconds": base_elapsed,
+        "served_seconds": served_elapsed,
+        "speedup": base_elapsed / served_elapsed,
+        "detail": (f"{n} reqs; {n / base_elapsed:,.0f} -> "
+                   f"{n / served_elapsed:,.0f} QPS; "
+                   f"{hit_rate:.0%} cache hits; bitwise-identical"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: mixed dashboard bursts under concurrent ingest
+# ---------------------------------------------------------------------------
+
+def bench_mixed_under_ingest(n_points: int, n_hosts: int,
+                             n_cycles: int) -> dict:
+    store = make_store(n_points, n_hosts)
+    stop = threading.Event()
+
+    def writer(wid: int) -> None:
+        # One fixed series per writer, appended in batches: the store
+        # grows in points (bumping the version) without exploding in
+        # series, throttled so readers see a moving but servable store.
+        series = SeriesId.make("ingest_rate", {"host": f"w{wid}"})
+        i = 0
+        while not stop.is_set():
+            ts = np.arange(i * 16, (i + 1) * 16, dtype=np.int64)
+            store.insert_array(series, ts, np.full(16, float(i)))
+            i += 1
+            time.sleep(0.002)
+
+    stale: list[tuple] = []
+    observed: list[tuple] = []            # (query, ServedResult)
+    with QueryServer(store, n_workers=N_WORKERS) as server:
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(N_WRITERS)]
+        for thread in threads:
+            thread.start()
+        start = time.perf_counter()
+        try:
+            for cycle in range(n_cycles):
+                # One dashboard refresh: every hot panel plus two
+                # never-before-seen cold scans, submitted as a burst.
+                burst = list(HOT_QUERIES) + [cold_query(2 * cycle),
+                                             cold_query(2 * cycle + 1)]
+                floor = store.version
+                futures = [(q, server.submit_sql(q)) for q in burst]
+                for query, future in futures:
+                    result = future.result()
+                    if result.version < floor:
+                        stale.append((query, result.version, floor))
+                    observed.append((query, result))
+        finally:
+            elapsed = time.perf_counter() - start
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not stale, f"stale results served: {stale[:3]}"
+        # Quiesced re-check: sampled mid-ingest answers recompute
+        # bitwise-identically on their own pinned snapshot.
+        step = max(1, len(observed) // 8)
+        for query, result in observed[::step]:
+            check = Database()
+            register_store(check, result.snapshot)
+            assert result.snapshot.version == result.version
+            assert_bitwise_equal(result.value, check.sql(query))
+        cache = server.stats()["cache"]
+    hit_rate = cache["hits"] / max(1, cache["hits"] + cache["misses"])
+
+    latencies = sorted(result.seconds for _, result in observed)
+    n = len(observed)
+    return {
+        "stage": f"mixed + {N_WRITERS} writers",
+        "baseline_seconds": None,
+        "served_seconds": elapsed,
+        "speedup": None,
+        "detail": (f"{n} reqs; {n / elapsed:,.0f} QPS; "
+                   f"p50 {1e3 * _percentile(latencies, 0.50):.2f} ms, "
+                   f"p99 {1e3 * _percentile(latencies, 0.99):.2f} ms; "
+                   f"{hit_rate:.0%} cache hits; 0 stale; "
+                   f"{cache['invalidations']} swept"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: repeated explain
+# ---------------------------------------------------------------------------
+
+def bench_repeated_explain(n_points: int, n_hosts: int,
+                           repeats: int) -> dict:
+    store = make_store(n_points, n_hosts)
+
+    def fresh_explain():
+        families = families_from_store(store.snapshot(), group_by="name")
+        hypotheses = generate_hypotheses(families, "target_metric")
+        return rank_families(hypotheses, scorer="L2-P50")
+
+    fresh_explain()                        # warm
+    start = time.perf_counter()
+    for _ in range(repeats):
+        baseline = fresh_explain()
+    base_elapsed = time.perf_counter() - start
+
+    with QueryServer(store) as server:
+        start = time.perf_counter()
+        for _ in range(repeats):
+            served = server.explain("target_metric", scorer="L2-P50")
+        served_elapsed = time.perf_counter() - start
+
+    def fields(table):
+        return [(r.rank, r.family, struct.pack("<d", r.score))
+                for r in table.results]
+
+    assert fields(served) == fields(baseline)
+    return {
+        "stage": f"explain x{repeats}",
+        "baseline_seconds": base_elapsed,
+        "served_seconds": served_elapsed,
+        "speedup": base_elapsed / served_elapsed,
+        "detail": (f"{len(fields(served))} ranked families; "
+                   f"identical ranking + scores"),
+    }
+
+
+def format_rows(rows: list[dict]) -> str:
+    lines = [f"{'stage':<24} {'baseline':>10} {'served':>10} "
+             f"{'speedup':>8}  detail"]
+    for row in rows:
+        base = ("-".rjust(10) if row["baseline_seconds"] is None
+                else f"{row['baseline_seconds']:>9.3f}s")
+        speedup = ("-".rjust(8) if row["speedup"] is None
+                   else f"{row['speedup']:>7.1f}x")
+        lines.append(f"{row['stage']:<24} {base} "
+                     f"{row['served_seconds']:>9.3f}s {speedup}  "
+                     f"{row['detail']}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI config; asserts the hot-mix floor")
+    parser.add_argument("--hot-floor", type=float, default=5.0,
+                        help="min served-vs-per-request QPS speedup on "
+                             "the hot repeated-query mix")
+    args = parser.parse_args()
+
+    if args.smoke:
+        store_cfg = dict(n_points=1024, n_hosts=4)
+        hot_cfg = dict(refreshes=40)
+        mixed_cfg = dict(n_cycles=12)
+        explain_cfg = dict(repeats=20)
+    else:
+        store_cfg = dict(n_points=4096, n_hosts=8)
+        hot_cfg = dict(refreshes=120)
+        mixed_cfg = dict(n_cycles=40)
+        explain_cfg = dict(repeats=60)
+
+    rows = [bench_hot_mix(**store_cfg, **hot_cfg),
+            bench_mixed_under_ingest(**store_cfg, **mixed_cfg),
+            bench_repeated_explain(**store_cfg, **explain_cfg)]
+    print(format_rows(rows))
+
+    assert rows[0]["speedup"] >= args.hot_floor, (
+        f"hot-mix serving speedup {rows[0]['speedup']:.1f}x below the "
+        f"{args.hot_floor:.0f}x floor")
+    print(f"hot mix OK: {rows[0]['speedup']:.1f}x >= "
+          f"{args.hot_floor:.0f}x floor")
+
+
+if __name__ == "__main__":
+    main()

@@ -124,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--transfer", default=None,
                         choices=list(TRANSFERS),
                         help="matrix transfer for --backend process")
+    replay.add_argument("--scale", type=_positive_int, default=1,
+                        help="trace-length multiplier: N emits N x 288 "
+                             "samples per series (load testing; 1 "
+                             "reproduces the historical scorecards "
+                             "exactly)")
     replay.add_argument("--json", default=None, metavar="PATH",
                         help="also write the machine-readable scorecard "
                              "as JSON ('-' for stdout)")
@@ -140,6 +145,23 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("query")
     sql.add_argument("--seed", type=int, default=0)
     sql.add_argument("--rows", type=int, default=20)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve SQL/explain requests over a scenario store "
+             "(reads one request per line from stdin)")
+    serve.add_argument("scenario", choices=sorted(SCENARIOS))
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--workers", type=_positive_int, default=None,
+                       help="request worker pool size "
+                            f"(default {DEFAULT_WORKERS})")
+    serve.add_argument("--cache-entries", type=_positive_int, default=None,
+                       help="result-cache bound (default 256)")
+    serve.add_argument("--backend", default=None, choices=list(BACKENDS),
+                       help="default ranking backend for \\explain "
+                            "requests")
+    serve.add_argument("--rows", type=int, default=20,
+                       help="rows printed per SQL result")
     return parser
 
 
@@ -231,7 +253,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
     card = replay_matrix(specs, scorers=tuple(args.scorers),
                          ks=tuple(args.ks), backend=args.backend,
                          n_workers=n_workers, transfer=transfer,
-                         matrix=args.matrix)
+                         matrix=args.matrix, scale=args.scale)
     if args.json == "-":
         print(card.to_json(indent=2))
     else:
@@ -272,6 +294,62 @@ def cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Line-oriented serving loop over stdin.
+
+    One request per line: a SQL statement, ``\\explain TARGET
+    [SCORER]``, ``\\stats`` (serving counters), or ``\\quit``.  Designed
+    to be scripted — ``printf 'SELECT ...\\n' | repro serve 5.1`` — as
+    well as used interactively; every response ends with a ``--
+    version=… cached=…`` trailer so cache behaviour is observable.
+    """
+    from repro.serve import DEFAULT_CACHE_ENTRIES, QueryServer
+
+    scenario = SCENARIOS[args.scenario](seed=args.seed)
+    workers = args.workers if args.workers is not None else DEFAULT_WORKERS
+    entries = (args.cache_entries if args.cache_entries is not None
+               else DEFAULT_CACHE_ENTRIES)
+    with QueryServer(scenario.store, n_workers=workers,
+                     cache_entries=entries,
+                     backend=args.backend) as server:
+        print(f"serving {scenario.name} ({args.scenario}) — "
+              f"{workers} workers, cache {entries} entries; "
+              "SQL, \\explain TARGET [SCORER], \\stats, \\quit",
+              file=sys.stderr)
+        for line in sys.stdin:
+            request = line.strip()
+            if not request or request.startswith("--"):
+                continue
+            if request in ("\\q", "\\quit", "quit", "exit"):
+                break
+            if request == "\\stats":
+                for key, value in server.stats().items():
+                    print(f"{key}: {value}")
+                continue
+            try:
+                if request.startswith("\\explain"):
+                    parts = request.split()
+                    if len(parts) < 2:
+                        print("error: \\explain needs a target family",
+                              file=sys.stderr)
+                        continue
+                    scorer = parts[2] if len(parts) > 2 else "L2-P50"
+                    result = server.submit_explain(
+                        parts[1], scorer=scorer).result()
+                    print(result.value.render(10))
+                else:
+                    result = server.submit_sql(request).result()
+                    print(result.value.head_text(args.rows))
+            except Exception as exc:                     # noqa: BLE001
+                # A bad request must not take the server down: report
+                # and keep draining the stream, like any query REPL.
+                print(f"error: {exc}", file=sys.stderr)
+                continue
+            print(f"-- version={result.version} cached={result.cached} "
+                  f"{result.seconds * 1000.0:.1f} ms")
+    return 0
+
+
 _COMMANDS = {
     "scenarios": cmd_scenarios,
     "scorers": cmd_scorers,
@@ -279,6 +357,7 @@ _COMMANDS = {
     "replay": cmd_replay,
     "table6": cmd_table6,
     "sql": cmd_sql,
+    "serve": cmd_serve,
 }
 
 

@@ -155,6 +155,39 @@ def _score_from_refs(scorer: Scorer,
     return index, timing, score_elapsed
 
 
+#: One shm scoring job: ``(input position, family name, n_features,
+#: X ref, Y ref, Z ref-or-None)`` — what actually crosses the process
+#: boundary under ``transfer="shm"``.
+ShmJob = tuple[int, str, int, MatrixRef, MatrixRef, MatrixRef | None]
+
+
+def share_shm_jobs(hypotheses: Sequence[Hypothesis],
+                   pool: SharedMatrixPool) -> list[ShmJob]:
+    """Publish all hypothesis matrices into ``pool``; return the jobs.
+
+    Reuses :func:`~repro.engine_exec.batch.plan_batches` so Y and Z
+    enter shared memory once per (Y, Z) group with the group's X blocks
+    packed behind them.  The returned job list references segments owned
+    by ``pool`` and stays valid for exactly the pool's lifetime — the
+    serving tier shares one run's matrices *once per store version* and
+    replays the same jobs for every repeat request at that version,
+    instead of re-copying per request.
+    """
+    jobs: list[ShmJob] = []
+    for batch in plan_batches(hypotheses):
+        matrices = [batch.y.matrix]
+        if batch.z is not None:
+            matrices.append(batch.z.matrix)
+        matrices.extend(h.x.matrix for h in batch.hypotheses)
+        refs = pool.share_group(matrices)
+        y_ref = refs[0]
+        z_ref = refs[1] if batch.z is not None else None
+        x_refs = refs[2 if batch.z is not None else 1:]
+        for i, h, x_ref in zip(batch.indices, batch.hypotheses, x_refs):
+            jobs.append((i, h.name, h.x.n_features, x_ref, y_ref, z_ref))
+    return jobs
+
+
 class HypothesisExecutor:
     """Schedules hypothesis scoring across a worker pool or batch planner.
 
@@ -204,8 +237,20 @@ class HypothesisExecutor:
 
     def run(self, hypotheses: Sequence[Hypothesis],
             scorer: Scorer | str = "L2-P50",
-            top_k: int = DEFAULT_TOP_K) -> ExecutionReport:
-        """Score all hypotheses and build the Score Table."""
+            top_k: int = DEFAULT_TOP_K,
+            shm_jobs: Sequence[ShmJob] | None = None,
+            process_pool: ProcessPoolExecutor | None = None
+            ) -> ExecutionReport:
+        """Score all hypotheses and build the Score Table.
+
+        ``shm_jobs`` and ``process_pool`` are the serving tier's
+        request-spanning hooks (only meaningful for
+        ``backend="process"``): ``shm_jobs`` replays matrices already
+        published with :func:`share_shm_jobs` instead of re-copying them
+        into fresh segments, and ``process_pool`` reuses a long-lived
+        pool instead of forking one per run.  The caller owns the
+        lifetime of both — this method never closes them.
+        """
         if isinstance(scorer, str):
             scorer = get_scorer(scorer)
         accounting = (SerializationAccounting()
@@ -253,7 +298,8 @@ class HypothesisExecutor:
                 timings = list(pool.map(score_one, hypotheses))
         elif self.transfer == "shm":
             transfer_used = "shm"
-            timings = self._run_process_shm(hypotheses, scorer, accounting)
+            timings = self._run_process_shm(hypotheses, scorer, accounting,
+                                            jobs=shm_jobs, procs=process_pool)
         else:   # process, transfer="pickle"
             transfer_used = "pickle"
             if accounting is not None:
@@ -262,9 +308,12 @@ class HypothesisExecutor:
                 # originals they receive through pickling.
                 for hypothesis in hypotheses:
                     accounting.pickle_round_trip(*hypothesis.matrices())
-            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                worker = partial(_score_in_process, scorer)
-                outcomes = list(pool.map(worker, hypotheses))
+            worker = partial(_score_in_process, scorer)
+            if process_pool is not None:
+                outcomes = list(process_pool.map(worker, hypotheses))
+            else:
+                with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                    outcomes = list(pool.map(worker, hypotheses))
             timings = [timing for timing, _ in outcomes]
             if accounting is not None:
                 for _, score_elapsed in outcomes:
@@ -292,36 +341,36 @@ class HypothesisExecutor:
 
     def _run_process_shm(self, hypotheses: Sequence[Hypothesis],
                          scorer: Scorer,
-                         accounting: SerializationAccounting | None
+                         accounting: SerializationAccounting | None,
+                         jobs: Sequence[ShmJob] | None = None,
+                         procs: ProcessPoolExecutor | None = None
                          ) -> list[HypothesisTiming]:
         """The zero-copy process path: share per batch group, map refs.
 
-        Reuses :func:`~repro.engine_exec.batch.plan_batches` so Y and Z
-        enter shared memory once per (Y, Z) group with the group's X
-        blocks packed behind them, exactly the structure the batch
-        backend exploits.
+        With ``jobs=None`` (the one-shot case) matrices are published
+        through a run-scoped :class:`SharedMatrixPool` that is closed —
+        segments unlinked — when the run ends.  A caller that passes
+        pre-shared ``jobs`` (see :func:`share_shm_jobs`) owns the
+        backing pool, so its segments survive this run and can serve
+        the next request without another copy-in; likewise a provided
+        ``procs`` pool is reused, not shut down.
         """
         if accounting is not None:
             accounting.transfer = "shm"
-        jobs: list[tuple[int, str, int, MatrixRef, MatrixRef,
-                         MatrixRef | None]] = []
-        with SharedMatrixPool(accounting=accounting) as pool:
-            for batch in plan_batches(hypotheses):
-                matrices = [batch.y.matrix]
-                if batch.z is not None:
-                    matrices.append(batch.z.matrix)
-                matrices.extend(h.x.matrix for h in batch.hypotheses)
-                refs = pool.share_group(matrices)
-                y_ref = refs[0]
-                z_ref = refs[1] if batch.z is not None else None
-                x_refs = refs[2 if batch.z is not None else 1:]
-                for i, h, x_ref in zip(batch.indices, batch.hypotheses,
-                                       x_refs):
-                    jobs.append((i, h.name, h.x.n_features,
-                                 x_ref, y_ref, z_ref))
-            with ProcessPoolExecutor(max_workers=self.n_workers) as procs:
-                worker = partial(_score_from_refs, scorer)
+        own_pool = None
+        if jobs is None:
+            own_pool = SharedMatrixPool(accounting=accounting)
+            jobs = share_shm_jobs(hypotheses, own_pool)
+        worker = partial(_score_from_refs, scorer)
+        try:
+            if procs is not None:
                 outcomes = list(procs.map(worker, jobs))
+            else:
+                with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                    outcomes = list(pool.map(worker, jobs))
+        finally:
+            if own_pool is not None:
+                own_pool.close()
         timings: list[HypothesisTiming | None] = [None] * len(hypotheses)
         for index, timing, score_elapsed in outcomes:
             timings[index] = timing

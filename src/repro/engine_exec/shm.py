@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
+from typing import Iterable
 
 import numpy as np
 
@@ -74,6 +75,11 @@ class SharedMatrixPool:
     @property
     def n_segments(self) -> int:
         return len(self._segments)
+
+    @property
+    def segment_names(self) -> list[str]:
+        """Names of the live segments (for worker-side detach sweeps)."""
+        return [segment.name for segment in self._segments]
 
     def share_group(self, matrices: list[np.ndarray]
                     ) -> list[MatrixRef]:
@@ -171,6 +177,23 @@ def attach_segment(name: str) -> shared_memory.SharedMemory:
                 resource_tracker.register = original_register
         _ATTACHED[name] = segment
     return segment
+
+
+def detach_segments(names: Iterable[str]) -> int:
+    """Drop this process's cached attachments for the named segments.
+
+    Used by the serving tier when a store version's shared matrices
+    retire: each worker that ran one of these detach tasks unmaps the
+    stale segments instead of holding them for the life of the pool.
+    Unknown names are ignored; returns how many segments were detached.
+    """
+    detached = 0
+    for name in names:
+        segment = _ATTACHED.pop(name, None)
+        if segment is not None:
+            segment.close()
+            detached += 1
+    return detached
 
 
 def resolve_ref(ref: MatrixRef | None) -> np.ndarray | None:

@@ -240,13 +240,17 @@ def replay_matrix(specs: Sequence[ScenarioSpec],
                   backend: str | None = None,
                   n_workers: int = 4,
                   transfer: str = "shm",
-                  matrix: str = "custom") -> Scorecard:
+                  matrix: str = "custom",
+                  scale: int = 1) -> Scorecard:
     """Replay every spec through ingest -> hypotheses -> rank -> grade.
 
     ``backend``/``n_workers``/``transfer`` are forwarded to
     :func:`~repro.core.ranking.rank_families`; every backend produces
     the same scorecard (rankings are bitwise identical), which the
-    parity regression test pins.
+    parity regression test pins.  ``scale`` multiplies every scenario's
+    trace length (see :func:`~repro.workloads.matrix.build_scenario`) —
+    the load knob for stress replays; ``scale=1`` reproduces the
+    historical scorecards exactly.
     """
     if not specs:
         raise ValueError("no scenario specs to replay")
@@ -254,7 +258,7 @@ def replay_matrix(specs: Sequence[ScenarioSpec],
     runs: list[ScenarioRun] = []
     for spec in specs:
         t0 = time.perf_counter()
-        scenario = build_scenario(spec)
+        scenario = build_scenario(spec, scale=scale)
         build_seconds = time.perf_counter() - t0
 
         t0 = time.perf_counter()

@@ -1,0 +1,25 @@
+"""Concurrent query-serving tier: worker pool, shm reuse, result cache.
+
+``QueryServer`` is the long-lived front end for dashboard-style
+workloads: repeat SQL / ``explain`` / ``drill_down`` requests served
+concurrently against pinned per-version snapshots, with batch-group
+matrices published to shared memory once per store version and a
+bounded version-keyed result cache (see :mod:`repro.serve.server`).
+"""
+
+from repro.serve.cache import (
+    DEFAULT_CACHE_ENTRIES,
+    CacheStats,
+    ResultCache,
+    normalize_query,
+)
+from repro.serve.server import QueryServer, ServedResult
+
+__all__ = [
+    "DEFAULT_CACHE_ENTRIES",
+    "CacheStats",
+    "QueryServer",
+    "ResultCache",
+    "ServedResult",
+    "normalize_query",
+]

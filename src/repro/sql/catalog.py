@@ -16,6 +16,7 @@ can prune series and sealed chunks before materialising anything.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable
 
@@ -32,9 +33,10 @@ from repro.sql.table import Table
 TableProvider = Callable[[], Table]
 ScanFn = Callable[[ScanPredicate], "tuple[Table, ScanReport]"]
 
-#: Pruned scan results are cached per (table, version, predicate) — a
-#: dashboard re-issuing the same selective query hits memory; the cap
-#: bounds the footprint when predicates vary.
+#: Pruned scan results are cached per (version, predicate), bounded
+#: *per provider* — a dashboard re-issuing the same selective query hits
+#: memory, the cap bounds the footprint when predicates vary, and one
+#: provider's cold-scan churn can never evict another's hot entries.
 _SCAN_CACHE_SIZE = 8
 
 
@@ -59,8 +61,14 @@ class Database:
         self._scan_fns: dict[str, ScanFn] = {}
         self._stats_fns: dict[str, Callable[[], TableStats]] = {}
         self._stats_cache: dict[str, tuple[Any, TableStats]] = {}
-        self._scan_cache: OrderedDict[tuple, tuple[Table, ScanReport]] = \
-            OrderedDict()
+        self._scan_cache: dict[str, OrderedDict[
+            tuple, tuple[Any, Table, ScanReport]]] = {}
+        self._scan_hits = 0
+        self._scan_misses = 0
+        # Serving runs many worker threads through one Database; the
+        # version/stats/scan caches mutate on the read path, so they
+        # share one leaf lock (never held across provider calls).
+        self._cache_lock = threading.Lock()
         self._udfs: dict[str, Callable[..., Any]] = {}
         self._optimize = optimize_queries
         self._columnar = columnar
@@ -126,12 +134,12 @@ class Database:
     def _forget_lazy(self, key: str) -> None:
         self._providers.pop(key, None)
         self._versioned.pop(key, None)
-        self._version_cache.pop(key, None)
         self._scan_fns.pop(key, None)
         self._stats_fns.pop(key, None)
-        self._stats_cache.pop(key, None)
-        for cache_key in [k for k in self._scan_cache if k[0] == key]:
-            self._scan_cache.pop(cache_key, None)
+        with self._cache_lock:
+            self._version_cache.pop(key, None)
+            self._stats_cache.pop(key, None)
+            self._scan_cache.pop(key, None)
 
     def table_names(self) -> list[str]:
         """All registered table names, sorted."""
@@ -147,11 +155,16 @@ class Database:
         if entry is not None:
             provider, version_fn = entry
             version = version_fn()
-            cached = self._version_cache.get(key)
-            if cached is not None and cached[0] == version:
-                return cached[1]
+            with self._cache_lock:
+                cached = self._version_cache.get(key)
+                if cached is not None and cached[0] == version:
+                    return cached[1]
+            # Materialise outside the lock: a concurrent thread racing
+            # the same version may duplicate the work, but never blocks
+            # every other table's cache behind one materialisation.
             table = provider()
-            self._version_cache[key] = (version, table)
+            with self._cache_lock:
+                self._version_cache[key] = (version, table)
             return table
         provider = self._providers.get(key)
         if provider is not None:
@@ -178,11 +191,13 @@ class Database:
         if stats_fn is not None:
             _, version_fn = self._versioned[key]
             version = version_fn()
-            cached = self._stats_cache.get(key)
-            if cached is not None and cached[0] == version:
-                return cached[1]
+            with self._cache_lock:
+                cached = self._stats_cache.get(key)
+                if cached is not None and cached[0] == version:
+                    return cached[1]
             stats = stats_fn()
-            self._stats_cache[key] = (version, stats)
+            with self._cache_lock:
+                self._stats_cache[key] = (version, stats)
             return stats
         try:
             return table_stats(self.table(name))
@@ -193,24 +208,48 @@ class Database:
                    ) -> tuple[Table, ScanReport] | None:
         """Pruned scan through a scannable provider, or ``None``.
 
-        Results are cached per ``(table, version, predicate)`` with a
-        small LRU so repeated dashboard queries skip the scan entirely.
+        Results are cached per ``(version, predicate)`` in a small LRU
+        *per provider*, so repeated dashboard queries skip the scan
+        entirely.  Entries from superseded versions are evicted as soon
+        as a scan observes a newer version — they could never hit again
+        (the version is part of the key) and would otherwise squat in
+        the LRU until pressure pushed them out.
         """
         key = name.lower()
         scan_fn = self._scan_fns.get(key)
         if scan_fn is None:
             return None
         _, version_fn = self._versioned[key]
-        cache_key = (key, version_fn(), predicate)
-        hit = self._scan_cache.get(cache_key)
-        if hit is not None:
-            self._scan_cache.move_to_end(cache_key)
-            return hit
+        version = version_fn()
+        cache_key = (version, predicate)
+        with self._cache_lock:
+            cache = self._scan_cache.setdefault(key, OrderedDict())
+            stale = [k for k, entry in cache.items() if entry[0] != version]
+            for k in stale:
+                del cache[k]
+            hit = cache.get(cache_key)
+            if hit is not None:
+                cache.move_to_end(cache_key)
+                self._scan_hits += 1
+                return hit[1], hit[2]
+            self._scan_misses += 1
         result = scan_fn(predicate)
-        self._scan_cache[cache_key] = result
-        while len(self._scan_cache) > _SCAN_CACHE_SIZE:
-            self._scan_cache.popitem(last=False)
+        with self._cache_lock:
+            cache = self._scan_cache.setdefault(key, OrderedDict())
+            cache[cache_key] = (version, result[0], result[1])
+            while len(cache) > _SCAN_CACHE_SIZE:
+                cache.popitem(last=False)
         return result
+
+    def cache_info(self) -> dict[str, Any]:
+        """Scan-cache behaviour: hit/miss totals and entries per provider."""
+        with self._cache_lock:
+            return {
+                "scan_hits": self._scan_hits,
+                "scan_misses": self._scan_misses,
+                "scan_entries": {k: len(c)
+                                 for k, c in self._scan_cache.items()},
+            }
 
     # ------------------------------------------------------------------
     # Query execution

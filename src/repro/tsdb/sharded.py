@@ -39,6 +39,7 @@ log before attaching it, which is the crash-recovery path.
 
 from __future__ import annotations
 
+import os
 import threading
 import zlib
 from pathlib import Path
@@ -84,6 +85,7 @@ class ShardedTimeSeriesStore:
         self._version_lock = threading.Lock()
         self._version = 0
         self._snap: tuple[int, TimeSeriesStore] | None = None
+        self._listeners: list[Callable[[int], None]] = []
         if wal is None or isinstance(wal, WriteAheadLog):
             self._wal = wal
         else:
@@ -91,15 +93,28 @@ class ShardedTimeSeriesStore:
 
     @classmethod
     def open(cls, wal_path: str | Path, n_shards: int = DEFAULT_SHARDS,
-             fsync_every: int = 64) -> "ShardedTimeSeriesStore":
+             fsync_every: int = 64,
+             snapshot: str | Path | None = None) -> "ShardedTimeSeriesStore":
         """Open (or create) a WAL-backed store, replaying existing records.
 
         Replay happens *before* the log is attached, so recovered
         records are not re-appended; after recovery the same log keeps
         receiving new appends.
+
+        ``snapshot`` names a checkpoint file (see :meth:`checkpoint`):
+        when it exists it is bulk-loaded first, and the WAL — which a
+        checkpoint truncated down to the records that arrived *after*
+        the snapshot was cut — replays on top.  A missing snapshot file
+        is not an error (no checkpoint has happened yet); recovery is
+        then WAL-only, exactly as before.
         """
         log = WriteAheadLog(wal_path, fsync_every=fsync_every)
         store = cls(n_shards=n_shards, wal=None)
+        if snapshot is not None and Path(snapshot).exists():
+            from repro.tsdb.persist import read_store
+            base = read_store(snapshot)
+            for series, ts, vals in base.iter_arrays():
+                store.insert_array(series, ts, vals)
         log.replay_into(store)
         store._wal = log
         return store
@@ -192,6 +207,37 @@ class ShardedTimeSeriesStore:
     def _bump(self) -> None:
         with self._version_lock:
             self._version += 1
+            version = self._version
+            # Listeners run under the version lock so they observe bumps
+            # in order (two shards bumping concurrently cannot deliver
+            # notifications out of sequence).  They must therefore be
+            # leaf callbacks: never touch this store, only their own
+            # leaf-locked state — the serving tier's result-cache sweep
+            # is the intended shape.
+            for listener in self._listeners:
+                listener(version)
+
+    def add_version_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked with the new version on every bump.
+
+        Called synchronously from inside the mutating writer — under the
+        shard lock and the version lock — so listeners must be cheap and
+        must not call back into the store (``version``, ``snapshot`` or
+        any mutator would deadlock).  The query-serving tier uses this
+        to sweep superseded entries from its result cache the moment
+        ingest invalidates them.
+        """
+        with self._version_lock:
+            self._listeners.append(listener)
+
+    def remove_version_listener(self,
+                                listener: Callable[[int], None]) -> None:
+        """Unregister a callback added by :meth:`add_version_listener`."""
+        with self._version_lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
 
     # ------------------------------------------------------------------
     # Snapshots — the read path
@@ -215,19 +261,23 @@ class ShardedTimeSeriesStore:
         for lock in self._locks:
             lock.acquire()
         try:
-            version = self._version
-            if self._snap is not None and self._snap[0] == version:
-                return self._snap[1]
-            snap = TimeSeriesStore()
-            for shard in self._shards:
-                for column in shard._data.values():
-                    snap._adopt_column(column.freeze())
-            snap._version = version
-            self._snap = (version, snap)
-            return snap
+            return self._snapshot_locked()
         finally:
             for lock in reversed(self._locks):
                 lock.release()
+
+    def _snapshot_locked(self) -> TimeSeriesStore:
+        """Snapshot body; caller holds every shard lock (in index order)."""
+        version = self._version
+        if self._snap is not None and self._snap[0] == version:
+            return self._snap[1]
+        snap = TimeSeriesStore()
+        for shard in self._shards:
+            for column in shard._data.values():
+                snap._adopt_column(column.freeze())
+        snap._version = version
+        self._snap = (version, snap)
+        return snap
 
     # ------------------------------------------------------------------
     # Read API — every method answers from the cached snapshot, so the
@@ -303,6 +353,42 @@ class ShardedTimeSeriesStore:
     @property
     def wal(self) -> WriteAheadLog | None:
         return self._wal
+
+    def checkpoint(self, path: str | Path) -> int:
+        """Persist a consistent cut to ``path`` and truncate the WAL.
+
+        Bounds recovery time: without checkpoints the WAL grows without
+        limit and :meth:`open` replays every record ever ingested.  A
+        checkpoint writes the current contents as a binary chunkfile
+        snapshot (crash-safe: written to a temp file, fsync'd, then
+        atomically renamed over ``path``) and *then* truncates the WAL
+        back to its header — so at every instant, snapshot + WAL
+        together contain the full store.  Recovery is
+        ``open(wal_path, snapshot=path)``.
+
+        Holds every shard lock for the duration, which quiesces writers
+        exactly like :meth:`snapshot` (the snapshot itself is the cached
+        per-version freeze, so a checkpoint right after reads is
+        copy-free); the WAL cannot advance between the cut and the
+        truncate.  Returns the snapshot's size in bytes.
+        """
+        from repro.tsdb.persist import save_store
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        for lock in self._locks:
+            lock.acquire()
+        try:
+            snap = self._snapshot_locked()
+            n_bytes = save_store(snap, tmp, format="binary")
+            with tmp.open("rb") as handle:
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            if self._wal is not None:
+                self._wal.truncate()
+            return n_bytes
+        finally:
+            for lock in reversed(self._locks):
+                lock.release()
 
     def flush(self) -> None:
         """fsync any batched WAL records (no-op without a WAL)."""

@@ -193,6 +193,23 @@ class WriteAheadLog:
             else:
                 self._handle.flush()
 
+    def truncate(self) -> None:
+        """Discard every record, keeping the magic header (checkpointing).
+
+        Called after a checkpoint has durably persisted everything the
+        log protects: the records are now redundant with the snapshot,
+        so the log resets to empty and recovery becomes snapshot +
+        whatever lands after this call.  The truncation is fsync'd
+        before returning — a crash can never observe the snapshot
+        missing *and* the log empty.
+        """
+        with self._lock:
+            self._handle.flush()
+            self._handle.truncate(len(MAGIC))
+            os.fsync(self._handle.fileno())
+            self._pending = 0
+            self._handle.seek(0, os.SEEK_END)
+
     def _sync(self) -> None:
         self._handle.flush()
         os.fsync(self._handle.fileno())

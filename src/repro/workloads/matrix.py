@@ -168,8 +168,8 @@ def _relu(x: np.ndarray) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 def _build_cascade(spec: ScenarioSpec, n_tenants: int = 4,
-                   noise: float = 0.6, intensity: float = 1.0
-                   ) -> ReplayScenario:
+                   noise: float = 0.6, intensity: float = 1.0,
+                   n_samples: int = N_SAMPLES) -> ReplayScenario:
     """Shared-database IO fault cascading up a per-tenant service chain.
 
     ``db_io_wait`` (the root cause) spikes for every tenant during the
@@ -179,7 +179,7 @@ def _build_cascade(spec: ScenarioSpec, n_tenants: int = 4,
     effect of the target; QPS/CPU/sidecar metrics are backgrounds.
     """
     rng = np.random.default_rng(spec.seed)
-    n = N_SAMPLES
+    n = int(n_samples)
     ts = np.arange(n, dtype=np.int64)
     day = signals.diurnal(n, amplitude=1.0, period=n // 2)
     start, end = _fault_window(rng, n)
@@ -243,8 +243,8 @@ _CASCADE_SCHEMA = FamilySchema(
 # ---------------------------------------------------------------------------
 
 def _build_congestion(spec: ScenarioSpec, n_hosts: int = 5,
-                      noise: float = 0.5, burst: float = 1.0
-                      ) -> ReplayScenario:
+                      noise: float = 0.5, burst: float = 1.0,
+                      n_samples: int = N_SAMPLES) -> ReplayScenario:
     """Cross-traffic burst saturating the core link.
 
     ``backup_traffic`` (the exogenous root) pushes core
@@ -255,7 +255,7 @@ def _build_congestion(spec: ScenarioSpec, n_hosts: int = 5,
     is deliberately left unlabelled (a confound, not a cause or effect).
     """
     rng = np.random.default_rng(spec.seed)
-    n = N_SAMPLES
+    n = int(n_samples)
     ts = np.arange(n, dtype=np.int64)
     day = signals.diurnal(n, amplitude=1.0, period=n // 2)
     start, end = _fault_window(rng, n)
@@ -325,8 +325,8 @@ _CONGESTION_SCHEMA = FamilySchema(
 # ---------------------------------------------------------------------------
 
 def _build_seasonal(spec: ScenarioSpec, n_decoys: int = 24,
-                    contamination: float = 1.0, strength: float = 1.0
-                    ) -> ReplayScenario:
+                    contamination: float = 1.0, strength: float = 1.0,
+                    n_samples: int = N_SAMPLES) -> ReplayScenario:
     """True cause buried under shared seasonality and trend.
 
     The target and ``n_decoys`` background metrics all share diurnal and
@@ -335,7 +335,7 @@ def _build_seasonal(spec: ScenarioSpec, n_decoys: int = 24,
     decoys cannot explain.
     """
     rng = np.random.default_rng(spec.seed)
-    n = N_SAMPLES
+    n = int(n_samples)
     ts = np.arange(n, dtype=np.int64)
     day = signals.diurnal(n, amplitude=1.0, period=n // 3)
     week = signals.diurnal(n, amplitude=1.0, period=n, phase=0.7)
@@ -394,8 +394,8 @@ _SEASONAL_SCHEMA = FamilySchema(
 # ---------------------------------------------------------------------------
 
 def _build_storm(spec: ScenarioSpec, n_decoy_faults: int = 4,
-                 overlap: float = 0.6, noise: float = 0.5
-                 ) -> ReplayScenario:
+                 overlap: float = 0.6, noise: float = 0.5,
+                 n_samples: int = N_SAMPLES) -> ReplayScenario:
     """Several faults firing together; only one drives the target.
 
     A storm interval holds the true fault window (a bad deploy whose
@@ -404,7 +404,7 @@ def _build_storm(spec: ScenarioSpec, n_decoy_faults: int = 4,
     in time but causally disconnected from the target.
     """
     rng = np.random.default_rng(spec.seed)
-    n = N_SAMPLES
+    n = int(n_samples)
     ts = np.arange(n, dtype=np.int64)
     start, end = _fault_window(rng, n)
     width = end - start
@@ -474,8 +474,8 @@ _STORM_SCHEMA = FamilySchema(
 # ---------------------------------------------------------------------------
 
 def _build_slow_burn(spec: ScenarioSpec, n_workers: int = 4,
-                     noise: float = 0.4, severity: float = 1.0
-                     ) -> ReplayScenario:
+                     noise: float = 0.4, severity: float = 1.0,
+                     n_samples: int = N_SAMPLES) -> ReplayScenario:
     """A leak-shaped degradation ramping over the whole trace.
 
     ``heap_used`` climbs super-linearly; ``gc_pause_time`` tracks its
@@ -485,7 +485,7 @@ def _build_slow_burn(spec: ScenarioSpec, n_workers: int = 4,
     cannot explain the accelerating pauses.
     """
     rng = np.random.default_rng(spec.seed)
-    n = N_SAMPLES
+    n = int(n_samples)
     ts = np.arange(n, dtype=np.int64)
     day = signals.diurnal(n, amplitude=1.0, period=n // 2)
     ramp = (np.arange(n, dtype=np.float64) / n) ** 1.5
@@ -608,11 +608,19 @@ SCENARIO_FAMILIES: dict[str, ScenarioFamily] = {
 }
 
 
-def build_scenario(spec: ScenarioSpec) -> ReplayScenario:
+def build_scenario(spec: ScenarioSpec, scale: int = 1) -> ReplayScenario:
     """Build one incident from its matrix key.
 
     Raises :class:`MatrixError` for unknown families or variants.  The
-    same spec always produces byte-identical output.
+    same ``(spec, scale)`` always produces byte-identical output.
+
+    ``scale`` multiplies the trace length: ``scale=N`` emits
+    ``N * N_SAMPLES`` samples per series, with every derived quantity
+    (seasonal periods, fault-window placement, ramps) stretching
+    proportionally — the load-testing knob for the serving and ingest
+    benchmarks.  ``scale=1`` is bit-for-bit the historical output: the
+    builders' random draws happen in the same order with the same
+    sizes, so existing graded scorecards are unaffected.
     """
     family = SCENARIO_FAMILIES.get(spec.family)
     if family is None:
@@ -626,7 +634,9 @@ def build_scenario(spec: ScenarioSpec) -> ReplayScenario:
             f"unknown variant {spec.variant!r} for {spec.family}; "
             f"available: {sorted(family.variants)}"
         )
-    return family.builder(spec, **params)
+    if scale < 1:
+        raise MatrixError(f"scale must be >= 1, got {scale}")
+    return family.builder(spec, n_samples=scale * N_SAMPLES, **params)
 
 
 def validate_scenario(scenario: ReplayScenario) -> None:

@@ -1,0 +1,95 @@
+"""ResultCache: hits, LRU eviction, version invalidation, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.serve.cache import ResultCache
+
+
+def test_miss_then_hit_roundtrip():
+    cache = ResultCache()
+    assert cache.get("q", 1) is None
+    cache.put("q", 1, "result")
+    assert cache.get("q", 1) == "result"
+    stats = cache.stats
+    assert stats.hits == 1 and stats.misses == 1 and stats.entries == 1
+
+
+def test_version_mismatch_is_a_miss():
+    cache = ResultCache()
+    cache.put("q", 1, "old")
+    assert cache.get("q", 2) is None
+    # The old entry still serves a reader that (validly) pinned v1.
+    assert cache.get("q", 1) == "old"
+
+
+def test_lru_eviction_order_and_bound():
+    cache = ResultCache(max_entries=2)
+    cache.put("a", 1, "A")
+    cache.put("b", 1, "B")
+    assert cache.get("a", 1) == "A"     # refresh a; b becomes LRU
+    cache.put("c", 1, "C")
+    assert cache.get("b", 1) is None
+    assert cache.get("a", 1) == "A"
+    assert cache.get("c", 1) == "C"
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+
+
+def test_evict_superseded_drops_only_stale_versions():
+    cache = ResultCache()
+    cache.put("a", 1, "A1")
+    cache.put("b", 1, "B1")
+    cache.put("a", 2, "A2")
+    removed = cache.evict_superseded(2)
+    assert removed == 2
+    assert cache.get("a", 2) == "A2"
+    assert cache.get("a", 1) is None
+    assert cache.stats.invalidations == 2
+
+
+def test_evict_superseded_noop_when_all_current():
+    cache = ResultCache()
+    cache.put("a", 3, "A")
+    assert cache.evict_superseded(3) == 0
+    assert cache.get("a", 3) == "A"
+
+
+def test_clear_empties_but_keeps_counters():
+    cache = ResultCache()
+    cache.put("a", 1, "A")
+    cache.get("a", 1)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 1
+
+
+def test_rejects_nonpositive_bound():
+    with pytest.raises(ValueError):
+        ResultCache(max_entries=0)
+
+
+def test_concurrent_puts_gets_and_sweeps_stay_consistent():
+    cache = ResultCache(max_entries=64)
+    errors = []
+
+    def worker(tid):
+        try:
+            for i in range(300):
+                version = i % 5
+                cache.put((tid, i % 10), version, i)
+                value = cache.get((tid, i % 10), version)
+                assert value is None or isinstance(value, int)
+                if i % 50 == 0:
+                    cache.evict_superseded(version)
+        except Exception as exc:      # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= 64
